@@ -1,0 +1,259 @@
+// Package cudaadvisor_test holds the top-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment end to end (instrument →
+// profile → analyze, or the native bypassing sweeps) and reports the
+// headline quantity the paper reports, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation section. Shapes, not absolute numbers,
+// are the reproduction target; see EXPERIMENTS.md for the side-by-side.
+package cudaadvisor_test
+
+import (
+	"io"
+	"testing"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/bypass"
+	"cudaadvisor/internal/experiments"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/rt"
+)
+
+// BenchmarkFigure4ReuseDistance regenerates the reuse-distance histograms
+// of Figure 4 (seven applications, element-based model, per CTA).
+func BenchmarkFigure4ReuseDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			syrk := res["syrk"]
+			b.ReportMetric(100*syrk.Fraction(0), "syrk-dist0-%")
+			b.ReportMetric(100*res["hotspot"].InfiniteFraction(), "hotspot-noreuse-%")
+		}
+	}
+}
+
+// BenchmarkFigure5MemoryDivergenceKepler regenerates the Kepler panel of
+// Figure 5 (128-byte cache lines, all ten applications).
+func BenchmarkFigure5MemoryDivergenceKepler(b *testing.B) {
+	benchFigure5(b, gpu.KeplerK40c())
+}
+
+// BenchmarkFigure5MemoryDivergencePascal regenerates the Pascal panel of
+// Figure 5 (32-byte cache lines).
+func BenchmarkFigure5MemoryDivergencePascal(b *testing.B) {
+	benchFigure5(b, gpu.PascalP100())
+}
+
+func benchFigure5(b *testing.B, cfg gpu.ArchConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res["bicg"].Fraction(1), "bicg-1line-%")
+			b.ReportMetric(res["syrk"].Degree(), "syrk-degree")
+		}
+	}
+}
+
+// BenchmarkTable3BranchDivergence regenerates the branch-divergence table.
+func BenchmarkTable3BranchDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.App == "nw" {
+					b.ReportMetric(r.Result.Percent(), "nw-divergence-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6BypassKepler16KB regenerates the 16 KB L1 half of
+// Figure 6: baseline / oracle / Eq.(1)-prediction normalized times.
+func BenchmarkFigure6BypassKepler16KB(b *testing.B) {
+	benchBypass(b, gpu.KeplerK40c().WithL1(16*1024))
+}
+
+// BenchmarkFigure6BypassKepler48KB regenerates the 48 KB L1 half of
+// Figure 6.
+func BenchmarkFigure6BypassKepler48KB(b *testing.B) {
+	benchBypass(b, gpu.KeplerK40c().WithL1(48*1024))
+}
+
+// BenchmarkFigure7BypassPascal regenerates Figure 7 (24 KB unified cache).
+func BenchmarkFigure7BypassPascal(b *testing.B) {
+	benchBypass(b, gpu.PascalP100())
+}
+
+func benchBypass(b *testing.B, cfg gpu.ArchConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BypassStudy(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			oracleSum, predSum := 0.0, 0.0
+			for _, c := range rows {
+				oracleSum += c.OracleNorm()
+				predSum += c.PredictNorm()
+			}
+			n := float64(len(rows))
+			b.ReportMetric(oracleSum/n, "mean-oracle-norm")
+			b.ReportMetric(predSum/n, "mean-predict-norm")
+		}
+	}
+}
+
+// BenchmarkFigure10OverheadKepler measures the tool's wall-clock
+// instrumentation overhead on the Kepler configuration (Figure 10).
+func BenchmarkFigure10OverheadKepler(b *testing.B) {
+	benchOverhead(b, gpu.KeplerK40c())
+}
+
+// BenchmarkFigure10OverheadPascal measures the overhead on Pascal.
+func BenchmarkFigure10OverheadPascal(b *testing.B) {
+	benchOverhead(b, gpu.PascalP100())
+}
+
+func benchOverhead(b *testing.B, cfg gpu.ArchConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Overhead(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			sum := 0.0
+			for _, r := range rows {
+				sum += r.Slowdown()
+			}
+			b.ReportMetric(sum/float64(len(rows)), "mean-slowdown-x")
+		}
+	}
+}
+
+// BenchmarkFigures8and9DebugViews regenerates the code-/data-centric
+// debugging views on bfs.
+func BenchmarkFigures8and9DebugViews(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.WriteCodeDataCentric(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzerReuseDistance isolates the analyzer's Fenwick-tree
+// reuse-distance engine on a substantial trace (syrk).
+func BenchmarkAnalyzerReuseDistance(b *testing.B) {
+	p, err := experiments.Profile(mustApp(b, "syrk"), gpu.KeplerK40c(),
+		memOnly(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.MergedReuse(p, analysis.DefaultElementReuse())
+	}
+}
+
+func mustApp(b *testing.B, name string) *apps.App {
+	b.Helper()
+	a := apps.ByName(name)
+	if a == nil {
+		b.Fatalf("app %q not registered", name)
+	}
+	return a
+}
+
+func memOnly() instrument.Options { return instrument.Options{Memory: true} }
+
+// BenchmarkAblationVerticalVsHorizontalBicg compares the two software
+// bypassing schemes the paper discusses (Section 4.2-D) on bicg: the
+// horizontal Eq.(1) configuration against a vertical rewrite driven by
+// CUDAAdvisor's per-site reuse profile, both normalized to no bypassing.
+func BenchmarkAblationVerticalVsHorizontalBicg(b *testing.B) {
+	a := apps.ByName("bicg")
+	cfg := gpu.KeplerK40c().WithL1(16 * 1024)
+	for i := 0; i < b.N; i++ {
+		// Profile once for both plans.
+		p, err := experiments.Profile(a, cfg, memOnly(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites := map[ir.Loc]*analysis.SiteReuse{}
+		for _, kp := range p.Kernels {
+			analysis.MergeSiteReuse(sites, analysis.ReuseBySite(kp.Trace, analysis.DefaultElementReuse()))
+		}
+		plan := bypass.VerticalPlan(sites, bypass.DefaultVerticalOptions())
+
+		run := func(l1Warps int, vertical bool) int64 {
+			m, err := a.Module()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Finalize(); err != nil {
+				b.Fatal(err)
+			}
+			if vertical {
+				bypass.ApplyVertical(m, plan)
+			}
+			counter := rt.NewCycleCounter()
+			ctx := rt.NewContext(gpu.NewDevice(cfg, experiments.DeviceMemBytes), counter)
+			ctx.Options.L1Warps = l1Warps
+			if err := a.Run(ctx, instrument.NativeProgram(m), experiments.BypassRunScale); err != nil {
+				b.Fatal(err)
+			}
+			return counter.Cycles
+		}
+		if i == 0 {
+			base := run(0, false)
+			horizontal := run(1, false)
+			vertical := run(0, true)
+			b.ReportMetric(float64(horizontal)/float64(base), "horizontal-norm")
+			b.ReportMetric(float64(vertical)/float64(base), "vertical-norm")
+		}
+	}
+}
+
+// BenchmarkAblationReuseEngines compares the Fenwick-tree reuse-distance
+// engine against the naive O(N^2) reference on the same trace (the
+// DESIGN.md ablation for the analyzer's data structure choice).
+func BenchmarkAblationReuseEngines(b *testing.B) {
+	p, err := experiments.Profile(mustApp(b, "bicg"), gpu.KeplerK40c(), memOnly(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := p.Kernels[0].Trace
+	b.Run("fenwick", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analysis.ReuseDistance(tr, analysis.DefaultElementReuse())
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		// The naive engine is quadratic; bound the input so one iteration
+		// stays tractable.
+		small := *tr
+		if len(small.Mem) > 400 {
+			small.Mem = small.Mem[:400]
+		}
+		for i := 0; i < b.N; i++ {
+			analysis.NaiveReuseDistance(&small, analysis.DefaultElementReuse())
+		}
+	})
+}

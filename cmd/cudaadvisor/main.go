@@ -1,0 +1,154 @@
+// Command cudaadvisor drives the CUDAAdvisor reproduction: it profiles
+// the Table 2 benchmark applications on the simulated Kepler/Pascal
+// devices and regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	cudaadvisor apps                      list the benchmark applications
+//	cudaadvisor profile <app> [flags]     run one app under the profiler
+//	cudaadvisor figure4|figure5|table3    regenerate an experiment
+//	cudaadvisor figure6|figure7|figure10
+//	cudaadvisor debugviews                Figures 8/9 (code/data-centric)
+//	cudaadvisor all                       every table and figure
+//
+// Flags for profile:
+//
+//	-arch kepler|pascal    architecture (default kepler)
+//	-scale N               input scale factor (default 1)
+//	-mode rd|md|bd         analysis to print (default all three)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/experiments"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "apps":
+		for _, a := range apps.InTableOrder() {
+			fmt.Printf("%-10s %-9s warps/CTA=%-3d %s\n", a.Name, a.Suite, a.WarpsPerCTA, a.Description)
+		}
+	case "profile":
+		err = profileCmd(args)
+	case "figure4":
+		err = experiments.WriteFigure4(os.Stdout, 1)
+	case "figure5":
+		err = experiments.WriteFigure5(os.Stdout, 1)
+	case "table3":
+		err = experiments.WriteTable3(os.Stdout, 1)
+	case "figure6":
+		err = experiments.WriteFigure6(os.Stdout, 1)
+	case "figure7":
+		err = experiments.WriteFigure7(os.Stdout, 1)
+	case "figure10":
+		err = experiments.WriteFigure10(os.Stdout, 1)
+	case "debugviews":
+		err = experiments.WriteCodeDataCentric(os.Stdout, 1)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return experiments.WriteFigure4(os.Stdout, 1) },
+			func() error { return experiments.WriteFigure5(os.Stdout, 1) },
+			func() error { return experiments.WriteTable3(os.Stdout, 1) },
+			func() error { return experiments.WriteFigure6(os.Stdout, 1) },
+			func() error { return experiments.WriteFigure7(os.Stdout, 1) },
+			func() error { return experiments.WriteCodeDataCentric(os.Stdout, 1) },
+			func() error { return experiments.WriteFigure10(os.Stdout, 1) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cudaadvisor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cudaadvisor <command>
+
+commands:
+  apps         list the benchmark applications (Table 2)
+  profile      profile one application: cudaadvisor profile <app> [-arch kepler|pascal] [-scale N] [-mode rd|md|bd]
+  figure4      reuse distance histograms
+  figure5      memory divergence distributions (Kepler + Pascal)
+  table3       branch divergence table
+  figure6      cache bypassing on Kepler (16 KB and 48 KB L1)
+  figure7      cache bypassing on Pascal (24 KB unified cache)
+  figure10     instrumentation overhead
+  debugviews   code-/data-centric debugging views (Figures 8/9)
+  all          everything above`)
+}
+
+func profileCmd(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	arch := fs.String("arch", "kepler", "architecture: kepler or pascal")
+	scale := fs.Int("scale", 1, "input scale factor")
+	mode := fs.String("mode", "all", "analysis: rd, md, bd, or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("profile wants exactly one application name (see 'cudaadvisor apps')")
+	}
+	app := apps.ByName(fs.Arg(0))
+	if app == nil {
+		return fmt.Errorf("unknown application %q", fs.Arg(0))
+	}
+	var cfg gpu.ArchConfig
+	switch *arch {
+	case "kepler":
+		cfg = gpu.KeplerK40c()
+	case "pascal":
+		cfg = gpu.PascalP100()
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+
+	adv := core.New(cfg, instrument.MemoryAndBlocks())
+	prog, err := app.Instrumented(adv.Opts)
+	if err != nil {
+		return err
+	}
+	if err := app.Run(adv.Context(), prog, *scale); err != nil {
+		return err
+	}
+
+	fmt.Printf("profiled %s on %s: %d kernel instances\n\n", app.Name, cfg.Name, len(adv.Kernels()))
+	if *mode == "rd" || *mode == "all" {
+		rd := adv.ReuseDistance(analysis.DefaultElementReuse())
+		report.ReuseHistogram(os.Stdout, app.Name, rd)
+		fmt.Println()
+	}
+	if *mode == "md" || *mode == "all" {
+		report.MemDivDistribution(os.Stdout, app.Name, adv.MemDivergence())
+		fmt.Println()
+	}
+	if *mode == "bd" || *mode == "all" {
+		adv.WriteBranchDivergenceReport(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("most memory-divergent sites (code-centric view):")
+	adv.WriteCodeCentric(os.Stdout, 3)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Bypass: model-guided horizontal cache bypassing (Section 4.2-D).
+//
+// Profiles the syrk benchmark once with CUDAAdvisor, evaluates the
+// Opt_Num_Warps model of Eq. (1) from the tool's own reuse-distance and
+// memory-divergence outputs, then measures baseline, predicted, and a few
+// other bypassing configurations on the native build — the Figure 6
+// experiment for one application.
+//
+// Run with: go run ./examples/bypass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/rt"
+)
+
+func main() {
+	app := apps.ByName("syrk")
+	cfg := gpu.KeplerK40c().WithL1(16 * 1024)
+
+	// Step 1: profile with memory tracing to feed the model.
+	adv := core.New(cfg, instrument.Options{Memory: true})
+	prog, err := app.Instrumented(adv.Opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Run(adv.Context(), prog, 1); err != nil {
+		log.Fatal(err)
+	}
+	predicted := adv.PredictBypassWarps(app.WarpsPerCTA)
+	fmt.Printf("Eq.(1) recommendation for %s on %s (16 KB L1): keep %d of %d warps on L1\n\n",
+		app.Name, cfg.Name, predicted, app.WarpsPerCTA)
+
+	// Step 2: measure native runs under different bypassing settings.
+	run := func(l1Warps int) int64 {
+		native, err := app.Native()
+		if err != nil {
+			log.Fatal(err)
+		}
+		counter := rt.NewCycleCounter()
+		ctx := rt.NewContext(gpu.NewDevice(cfg, 512<<20), counter)
+		ctx.Options.L1Warps = l1Warps
+		if err := app.Run(ctx, native, 2); err != nil {
+			log.Fatal(err)
+		}
+		return counter.Cycles
+	}
+
+	base := run(0) // 0 = no bypassing
+	fmt.Printf("%-22s %12d cycles (1.000)\n", "baseline (no bypass)", base)
+	for _, k := range []int{1, 2, 4, 6} {
+		c := run(k)
+		fmt.Printf("%-22s %12d cycles (%.3f)\n",
+			fmt.Sprintf("L1 warps/CTA = %d", k), c, float64(c)/float64(base))
+	}
+	pk := predicted
+	if pk >= app.WarpsPerCTA {
+		fmt.Printf("%-22s %12d cycles (1.000) <- model choice\n", "predicted = baseline", base)
+	} else {
+		c := run(pk)
+		fmt.Printf("%-22s %12d cycles (%.3f) <- model choice\n",
+			fmt.Sprintf("predicted k = %d", pk), c, float64(c)/float64(base))
+	}
+}

@@ -1,0 +1,124 @@
+// Quickstart: profile a hand-written kernel with CUDAAdvisor.
+//
+// The kernel is written in the textual device IR, compiled through the
+// instrumentation engine, launched via the CUDA-style host runtime on the
+// simulated Kepler device, and the analyzer's reuse-distance histogram is
+// printed — the complete Figure 1 workflow in ~60 lines of user code.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/irtext"
+	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/rt"
+)
+
+// saxpy with a deliberate re-read of x (so the reuse histogram has
+// something to show besides cold misses).
+const kernelSrc = `
+module quickstart
+
+kernel @saxpy(%x: ptr, %y: ptr, %n: i32, %a: f32) {
+entry:
+  %tx = sreg tid.x
+  %bx = sreg ctaid.x
+  %bd = sreg ntid.x
+  %b  = mul i32 %bx, %bd
+  %i  = add i32 %b, %tx
+  %c  = icmp lt i32 %i, %n
+  cbr %c, body, exit
+body:
+  %xa = gep %x, %i, 4
+  %xv = ld f32 global [%xa]
+  %ya = gep %y, %i, 4
+  %yv = ld f32 global [%ya]
+  %ax = fmul f32 %xv, %a
+  %s  = fadd f32 %ax, %yv
+  %x2 = ld f32 global [%xa]
+  %s2 = fadd f32 %s, %x2
+  st f32 global [%ya], %s2
+  br exit
+exit:
+  ret
+}
+`
+
+func main() {
+	// 1. Parse the device code and run it through the instrumentation
+	//    engine (an LLVM-pass analog) with memory tracing enabled.
+	module, err := irtext.Parse("quickstart.mir", kernelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := core.New(gpu.KeplerK40c(), instrument.Options{Memory: true})
+	prog, err := adv.Compile(module)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Drive the host side: allocate, copy, launch, copy back. Every
+	//    call raises the events the paper's mandatory host instrumentation
+	//    produces, so the profiler sees the full data flow.
+	ctx := adv.Context()
+	defer ctx.Enter("main")()
+
+	const n = 4096
+	hx := ctx.Malloc(4*n, "h_x")
+	hy := ctx.Malloc(4*n, "h_y")
+	for i := 0; i < n; i++ {
+		putF32(hx, i, float32(i))
+		putF32(hy, i, 1)
+	}
+	dx, err := ctx.CudaMalloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dy, err := ctx.CudaMalloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.MemcpyH2D(dx, hx, 4*n); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.MemcpyH2D(dy, hy, 4*n); err != nil {
+		log.Fatal(err)
+	}
+	res, err := ctx.Launch(prog, "saxpy", rt.Dim(n/256), rt.Dim(256),
+		rt.Ptr(dx), rt.Ptr(dy), rt.I32(n), rt.F32(2.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.MemcpyD2H(hy, dy, 4*n); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask the analyzer what it saw.
+	fmt.Printf("launch: %d CTAs x %d warps, %d modeled cycles, L1 hit rate %.1f%%\n\n",
+		res.CTAs, res.WarpsPerCTA, res.Cycles, 100*res.Cache.HitRate())
+	rd := adv.ReuseDistance(analysis.DefaultElementReuse())
+	report.ReuseHistogram(os.Stdout, "saxpy", rd)
+
+	fmt.Println("\ndata-centric view of y:")
+	adv.WriteDataCentric(os.Stdout, uint64(dy))
+
+	fmt.Printf("\ny[10] = %g (want %g)\n", getF32(hy, 10), 2.5*10+1+10)
+}
+
+func putF32(h *rt.HostBuf, i int, v float32) {
+	binary.LittleEndian.PutUint32(h.Data[4*i:], math.Float32bits(v))
+}
+
+func getF32(h *rt.HostBuf, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(h.Data[4*i:]))
+}

@@ -1,0 +1,3 @@
+module cudaadvisor
+
+go 1.22

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/trace"
+)
+
+// SiteReuse is the per-source-location reuse profile: how often the data
+// a load site brings in is reused later (forward-looking, by any site).
+// It is the input to vertical cache bypassing (the per-instruction scheme
+// of Xie et al. the paper contrasts with horizontal bypassing in Section
+// 4.2-D): loads whose data is never reused afterwards are safe to send
+// around the L1.
+type SiteReuse struct {
+	Loc     ir.Loc
+	Samples int64 // read accesses issued by this site
+	Reused  int64 // of those, how many were re-read later (before a write)
+}
+
+// StreamFraction is the share of this site's loads whose data is never
+// reused afterwards — the vertical-bypass criterion.
+func (s *SiteReuse) StreamFraction() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return 1 - float64(s.Reused)/float64(s.Samples)
+}
+
+// ReuseBySite computes per-site reuse statistics for a kernel trace under
+// the same per-CTA, write-restart model as ReuseDistance. Each read
+// access is attributed to the source location of its load.
+func ReuseBySite(tr *trace.KernelTrace, opt ReuseOptions) map[ir.Loc]*SiteReuse {
+	byID := make(map[int32]*SiteReuse)
+	for _, records := range groupByCTA(tr, opt.GlobalOnly) {
+		analyzeCTASiteReuse(records, opt.Granularity, byID)
+	}
+	out := make(map[ir.Loc]*SiteReuse, len(byID))
+	for id, s := range byID {
+		loc := tr.Locs.Loc(id)
+		if cur, ok := out[loc]; ok {
+			cur.Samples += s.Samples
+			cur.Reused += s.Reused
+		} else {
+			s.Loc = loc
+			out[loc] = s
+		}
+	}
+	return out
+}
+
+// MergeSiteReuse accumulates per-site maps across kernel instances.
+func MergeSiteReuse(dst, src map[ir.Loc]*SiteReuse) {
+	for loc, s := range src {
+		if cur, ok := dst[loc]; ok {
+			cur.Samples += s.Samples
+			cur.Reused += s.Reused
+		} else {
+			cp := *s
+			dst[loc] = &cp
+		}
+	}
+}
+
+// analyzeCTASiteReuse attributes forward reuse: when an element is
+// re-read (with no intervening write), the site of the PREVIOUS read gets
+// the credit — its load brought in data that was worth caching.
+func analyzeCTASiteReuse(records []trace.MemAccess, gran int, sites map[int32]*SiteReuse) {
+	type st struct {
+		lastSite int32
+		seen     bool
+		dirty    bool
+	}
+	state := make(map[uint64]*st)
+	site := func(id int32) *SiteReuse {
+		s := sites[id]
+		if s == nil {
+			s = &SiteReuse{}
+			sites[id] = s
+		}
+		return s
+	}
+	for i := range records {
+		m := &records[i]
+		isWrite := m.Kind == trace.Store
+		isAtomic := m.Kind == trace.Atomic
+		for lane := 0; lane < trace.WarpSize; lane++ {
+			if m.Mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			elem := elemKey(m.Addrs[lane], m.Bits, gran)
+			es := state[elem]
+			if es == nil {
+				es = &st{}
+				state[elem] = es
+			}
+			if !isWrite {
+				site(m.Loc).Samples++
+				if es.seen && !es.dirty {
+					site(es.lastSite).Reused++
+				}
+				es.seen = true
+				es.dirty = false
+				es.lastSite = m.Loc
+			}
+			if isWrite || isAtomic {
+				es.dirty = true
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import "math"
+
+// Summary is the offline analyzer's aggregate statistical view across
+// kernel instances on the same call path (Section 3.3): mean, min, max
+// and standard deviation of a per-instance metric.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over per-instance metric values.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = values[0]
+	s.Max = values[0]
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// InstanceMetrics extracts one metric value per kernel instance and
+// summarizes the variation — the paper's "performance variation across
+// different instances of the same GPU kernel".
+func InstanceMetrics[T any](instances []T, metric func(T) float64) Summary {
+	values := make([]float64, len(instances))
+	for i, in := range instances {
+		values[i] = metric(in)
+	}
+	return Summarize(values)
+}

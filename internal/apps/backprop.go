@@ -1,0 +1,302 @@
+package apps
+
+import (
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/rt"
+)
+
+// backprop is Rodinia's neural-network training step. The forward kernel
+// (bpnn_layerforward_CUDA) stages a 16x16 weight tile in shared memory,
+// multiplies by the input slice, and tree-reduces along the input
+// dimension behind barriers; the "tx == 0" loads and the "ty % 2^i == 0"
+// reduction guards are the source of backprop's ~28% divergent blocks
+// (Table 3). Tile loads are row-major and coalesced (Figure 5's mostly-1
+// distribution), and each weight is touched once per pass (the high
+// no-reuse share of Figure 4). The weight-adjust kernel then applies the
+// delta rule over the same layout.
+const backpropSource = `
+module backprop
+
+// input: in+1 floats (1-indexed); weights: (in+1) x 17 row-major;
+// partial: numblocks*16 sums.
+kernel @bpnn_layerforward_CUDA(%input: ptr, %weights: ptr, %wout: ptr, %partial: ptr, %in: i32) {
+  shared @input_node: f32[16]
+  shared @weight_matrix: f32[256]
+entry:
+  %tx = sreg tid.x
+  %ty = sreg tid.y
+  %by = sreg ctaid.x
+  %inp = shptr @input_node
+  %wm  = shptr @weight_matrix
+  // index of weight w[by*16 + ty + 1][tx + 1] in a 17-wide matrix
+  %rowbase = mul i32 %by, 16
+  %row     = add i32 %rowbase, %ty
+  %row1    = add i32 %row, 1
+  %widx0   = mul i32 %row1, 17
+  %widx    = add i32 %widx0, %tx
+  %widx1   = add i32 %widx, 1
+  %c0 = icmp eq i32 %tx, 0
+  cbr %c0, loadin, afterload
+loadin:
+  %inb = icmp le i32 %row1, %in
+  cbr %inb, loadin2, afterload
+loadin2:
+  %ia = gep %input, %row1, 4
+  %iv = ld f32 global [%ia]
+  %sa = gep %inp, %ty, 4
+  st f32 shared [%sa], %iv
+  br afterload
+afterload:
+  bar
+  %li  = mul i32 %ty, 16
+  %lii = add i32 %li, %tx
+  %wa  = gep %wm, %lii, 4
+  %ga  = gep %weights, %widx1, 4
+  %wv  = ld f32 global [%ga]
+  st f32 shared [%wa], %wv
+  bar
+  %sb  = gep %inp, %ty, 4
+  %inv = ld f32 shared [%sb]
+  %wv2 = ld f32 shared [%wa]
+  %pr  = fmul f32 %wv2, %inv
+  st f32 shared [%wa], %pr
+  bar
+  %pw = mov i32 2
+  br redhead
+redhead:
+  %rc = icmp le i32 %pw, 16
+  cbr %rc, redcheck, writeback
+redcheck:
+  %rem = srem i32 %ty, %pw
+  %sel = icmp eq i32 %rem, 0
+  cbr %sel, redadd, redsync
+redadd:
+  %half = sdiv i32 %pw, 2
+  %orow = add i32 %ty, %half
+  %oinb = icmp lt i32 %orow, 16
+  cbr %oinb, redadd2, redsync
+redadd2:
+  %oli  = mul i32 %orow, 16
+  %olii = add i32 %oli, %tx
+  %ob   = gep %wm, %olii, 4
+  %ov   = ld f32 shared [%ob]
+  %mine = ld f32 shared [%wa]
+  %ns   = fadd f32 %mine, %ov
+  st f32 shared [%wa], %ns
+  br redsync
+redsync:
+  bar
+  %pw = mul i32 %pw, 2
+  br redhead
+writeback:
+  %fin = ld f32 shared [%wa]
+  %oa  = gep %wout, %widx1, 4
+  st f32 global [%oa], %fin
+  %cz = icmp eq i32 %ty, 0
+  cbr %cz, partials, exit
+partials:
+  %pb = mul i32 %by, 16
+  %pi = add i32 %pb, %tx
+  %pok = icmp lt i32 %tx, 16
+  cbr %pok, partials2, exit
+partials2:
+  %pa = gep %partial, %pi, 4
+  %pv = ld f32 shared [%wa]
+  st f32 global [%pa], %pv
+  br exit
+exit:
+  ret
+}
+
+// w[i][j] += eta * delta[j] * x[i] + momentum * oldw[i][j]; oldw updated
+// to the applied delta (Rodinia's adjust_weights over the 17-wide layout).
+kernel @bpnn_adjust_weights_cuda(%delta: ptr, %x: ptr, %w: ptr, %oldw: ptr, %in: i32) {
+entry:
+  %tx = sreg tid.x
+  %ty = sreg tid.y
+  %by = sreg ctaid.x
+  %rowbase = mul i32 %by, 16
+  %row     = add i32 %rowbase, %ty
+  %row1    = add i32 %row, 1
+  %cr = icmp le i32 %row1, %in
+  cbr %cr, body, exit
+body:
+  %idx0 = mul i32 %row1, 17
+  %idx  = add i32 %idx0, %tx
+  %idx1 = add i32 %idx, 1
+  %tx1 = add i32 %tx, 1
+  %dva = gep %delta, %tx1, 4
+  %dv  = ld f32 global [%dva]
+  %xa = gep %x, %row1, 4
+  %xv = ld f32 global [%xa]
+  %t1 = fmul f32 %dv, %xv
+  %t2 = fmul f32 %t1, 0.3
+  %oa = gep %oldw, %idx1, 4
+  %ov = ld f32 global [%oa]
+  %t3 = fmul f32 %ov, 0.3
+  %upd = fadd f32 %t2, %t3
+  %wa = gep %w, %idx1, 4
+  %wv = ld f32 global [%wa]
+  %nw = fadd f32 %wv, %upd
+  st f32 global [%wa], %nw
+  st f32 global [%oa], %upd
+  br exit
+exit:
+  ret
+}
+`
+
+const bpHidden = 16 // hidden units per Rodinia's fixed 16-wide layer
+
+func backpropIn(scale int) int { return 1024 * scale }
+
+func runBackprop(ctx *rt.Context, prog *instrument.Program, scale int) error {
+	defer ctx.Enter("main")()
+	in := backpropIn(scale) // paper input 65536, simulator scale 1024
+	r := rng(17)
+	input := randF32s(r, in+1)
+	weights := randF32s(r, (in+1)*17)
+	delta := randF32s(r, 17)
+	oldw := randF32s(r, (in+1)*17)
+
+	defer ctx.Enter("bpnn_train_cuda")()
+	dIn, _, err := uploadF32s(ctx, "input_cuda", input)
+	if err != nil {
+		return err
+	}
+	dW, _, err := uploadF32s(ctx, "input_hidden_cuda", weights)
+	if err != nil {
+		return err
+	}
+	numBlocks := in / 16
+	hWout := ctx.Malloc(int64(4*(in+1)*17), "wout")
+	hPartial := ctx.Malloc(int64(4*numBlocks*bpHidden), "hidden_partial_sum")
+	dWout, err := ctx.CudaMalloc(int64(4 * (in + 1) * 17))
+	if err != nil {
+		return err
+	}
+	dPartial, err := ctx.CudaMalloc(int64(4 * numBlocks * bpHidden))
+	if err != nil {
+		return err
+	}
+
+	if _, err := ctx.Launch(prog, "bpnn_layerforward_CUDA",
+		rt.Dim(numBlocks), rt.Dim2(16, 16),
+		rt.Ptr(dIn), rt.Ptr(dW), rt.Ptr(dWout), rt.Ptr(dPartial), rt.I32(int32(in))); err != nil {
+		return err
+	}
+
+	wout, err := downloadF32s(ctx, hWout, dWout, (in+1)*17)
+	if err != nil {
+		return err
+	}
+	partial, err := downloadF32s(ctx, hPartial, dPartial, numBlocks*bpHidden)
+	if err != nil {
+		return err
+	}
+	wantWout, wantPartial := backpropForwardRef(input, weights, in)
+	// Only the interior (row >= 1, col >= 1) cells are written.
+	for row := 1; row <= in; row++ {
+		for col := 1; col <= bpHidden; col++ {
+			i := row*17 + col
+			if err := checkF32s("backprop wout", wout[i:i+1], wantWout[i:i+1], 1e-4); err != nil {
+				return err
+			}
+		}
+	}
+	if err := checkF32s("backprop partial", partial, wantPartial, 1e-4); err != nil {
+		return err
+	}
+
+	// Weight adjustment kernel.
+	dDelta, _, err := uploadF32s(ctx, "hidden_delta_cuda", delta)
+	if err != nil {
+		return err
+	}
+	dOldW, _, err := uploadF32s(ctx, "input_prev_weights_cuda", oldw)
+	if err != nil {
+		return err
+	}
+	if _, err := ctx.Launch(prog, "bpnn_adjust_weights_cuda",
+		rt.Dim(numBlocks), rt.Dim2(16, 16),
+		rt.Ptr(dDelta), rt.Ptr(dIn), rt.Ptr(dW), rt.Ptr(dOldW), rt.I32(int32(in))); err != nil {
+		return err
+	}
+	hW := ctx.Malloc(int64(4*(in+1)*17), "w_readback")
+	gotW, err := downloadF32s(ctx, hW, dW, (in+1)*17)
+	if err != nil {
+		return err
+	}
+	wantW := backpropAdjustRef(weights, delta, input, oldw, in)
+	for row := 1; row <= in; row++ {
+		for col := 1; col <= bpHidden; col++ {
+			i := row*17 + col
+			if err := checkF32s("backprop w", gotW[i:i+1], wantW[i:i+1], 1e-4); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// backpropForwardRef reproduces the tiled forward reduction: wout holds
+// the per-cell products, partial the per-block column sums over 16 rows.
+func backpropForwardRef(input, weights []float32, in int) (wout, partial []float32) {
+	wout = make([]float32, (in+1)*17)
+	numBlocks := in / 16
+	partial = make([]float32, numBlocks*bpHidden)
+	for by := 0; by < numBlocks; by++ {
+		var tile [16][16]float32
+		for ty := 0; ty < 16; ty++ {
+			row := by*16 + ty + 1
+			for tx := 0; tx < 16; tx++ {
+				tile[ty][tx] = weights[row*17+tx+1] * input[row]
+			}
+		}
+		// Tree reduction over ty, matching the kernel's pairwise order;
+		// non-participating rows keep their running value, which the
+		// kernel writes back per thread.
+		for pw := 2; pw <= 16; pw *= 2 {
+			for ty := 0; ty < 16; ty += pw {
+				for tx := 0; tx < 16; tx++ {
+					tile[ty][tx] += tile[ty+pw/2][tx]
+				}
+			}
+		}
+		for ty := 0; ty < 16; ty++ {
+			row := by*16 + ty + 1
+			for tx := 0; tx < 16; tx++ {
+				wout[row*17+tx+1] = tile[ty][tx]
+			}
+		}
+		for tx := 0; tx < 16; tx++ {
+			partial[by*bpHidden+tx] = tile[0][tx]
+		}
+	}
+	return wout, partial
+}
+
+// backpropAdjustRef applies the delta rule sequentially.
+func backpropAdjustRef(weights, delta, x, oldw []float32, in int) []float32 {
+	w := append([]float32(nil), weights...)
+	for row := 1; row <= in; row++ {
+		for tx := 0; tx < 16; tx++ {
+			idx := row*17 + tx + 1
+			upd := delta[tx+1]*x[row]*0.3 + oldw[idx]*0.3
+			w[idx] += upd
+		}
+	}
+	return w
+}
+
+func init() {
+	register(&App{
+		Name:        "backprop",
+		Description: "Neural network back-propagation: tiled layer-forward reduction + weight adjustment",
+		Suite:       "rodinia",
+		WarpsPerCTA: 8,
+		SourceFile:  "backprop.mir",
+		Source:      backpropSource,
+		Run:         runBackprop,
+	})
+}

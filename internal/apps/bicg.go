@@ -1,0 +1,186 @@
+package apps
+
+import (
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/rt"
+)
+
+// bicg is the Polybench BiCG sub-kernel of the BiCGStab linear solver:
+// two matrix-vector products, s = A^T r and q = A p. Kernel 1 walks A by
+// columns (coalesced: one 128-byte line per warp instruction on Kepler);
+// kernel 2 walks A by rows (fully diverged: 32 unique lines), which is
+// what gives bicg its bimodal memory-divergence distribution in Figure 5
+// (Kepler: 75% at 1 line, 25% at 32). Guards are exact (n is a multiple
+// of the CTA size), so branch divergence is 0% as in Table 3.
+const bicgSource = `
+module bicg
+
+// s[j] = sum_i A[i*n + j] * r[i]
+kernel @bicg_kernel1(%A: ptr, %r: ptr, %s: ptr, %n: i32) {
+entry:
+  %tx = sreg tid.x
+  %bx = sreg ctaid.x
+  %bd = sreg ntid.x
+  %b  = mul i32 %bx, %bd
+  %j  = add i32 %b, %tx
+  %c  = icmp lt i32 %j, %n
+  cbr %c, init, exit
+init:
+  %sum = mov f32 0.0
+  %i   = mov i32 0
+  br head
+head:
+  %hc = icmp lt i32 %i, %n
+  cbr %hc, body, store
+body:
+  %row = mul i32 %i, %n
+  %idx = add i32 %row, %j
+  %aa  = gep %A, %idx, 4
+  %av  = ld f32 global [%aa]
+  %ra  = gep %r, %i, 4
+  %rv  = ld f32 global [%ra]
+  %pr  = fmul f32 %av, %rv
+  %sum = fadd f32 %sum, %pr
+  %i   = add i32 %i, 1
+  br head
+store:
+  %sa = gep %s, %j, 4
+  st f32 global [%sa], %sum
+  br exit
+exit:
+  ret
+}
+
+// q[i] = sum_j A[i*n + j] * p[j]
+kernel @bicg_kernel2(%A: ptr, %p: ptr, %q: ptr, %n: i32) {
+entry:
+  %tx = sreg tid.x
+  %bx = sreg ctaid.x
+  %bd = sreg ntid.x
+  %b  = mul i32 %bx, %bd
+  %i  = add i32 %b, %tx
+  %c  = icmp lt i32 %i, %n
+  cbr %c, init, exit
+init:
+  %sum = mov f32 0.0
+  %j   = mov i32 0
+  br head
+head:
+  %hc = icmp lt i32 %j, %n
+  cbr %hc, body, store
+body:
+  %row = mul i32 %i, %n
+  %idx = add i32 %row, %j
+  %aa  = gep %A, %idx, 4
+  %av  = ld f32 global [%aa]
+  %pa  = gep %p, %j, 4
+  %pv  = ld f32 global [%pa]
+  %pr  = fmul f32 %av, %pv
+  %sum = fadd f32 %sum, %pr
+  %j   = add i32 %j, 1
+  br head
+store:
+  %qa = gep %q, %i, 4
+  st f32 global [%qa], %sum
+  br exit
+exit:
+  ret
+}
+`
+
+// bicgN returns the matrix dimension for a scale factor.
+func bicgN(scale int) int { return 192 * scale }
+
+func runBicg(ctx *rt.Context, prog *instrument.Program, scale int) error {
+	defer ctx.Enter("main")()
+	n := bicgN(scale)
+	r := rng(42)
+	a := randF32s(r, n*n)
+	rv := randF32s(r, n)
+	pv := randF32s(r, n)
+
+	defer ctx.Enter("bicgCuda")()
+	dA, _, err := uploadF32s(ctx, "A", a)
+	if err != nil {
+		return err
+	}
+	dR, _, err := uploadF32s(ctx, "r", rv)
+	if err != nil {
+		return err
+	}
+	dP, _, err := uploadF32s(ctx, "p", pv)
+	if err != nil {
+		return err
+	}
+	hS := ctx.Malloc(int64(4*n), "s")
+	hQ := ctx.Malloc(int64(4*n), "q")
+	dS, err := ctx.CudaMalloc(int64(4 * n))
+	if err != nil {
+		return err
+	}
+	dQ, err := ctx.CudaMalloc(int64(4 * n))
+	if err != nil {
+		return err
+	}
+
+	const cta = 256
+	grid := rt.Dim((n + cta - 1) / cta)
+	if _, err := ctx.Launch(prog, "bicg_kernel1", grid, rt.Dim(cta),
+		rt.Ptr(dA), rt.Ptr(dR), rt.Ptr(dS), rt.I32(int32(n))); err != nil {
+		return err
+	}
+	if _, err := ctx.Launch(prog, "bicg_kernel2", grid, rt.Dim(cta),
+		rt.Ptr(dA), rt.Ptr(dP), rt.Ptr(dQ), rt.I32(int32(n))); err != nil {
+		return err
+	}
+
+	s, err := downloadF32s(ctx, hS, dS, n)
+	if err != nil {
+		return err
+	}
+	q, err := downloadF32s(ctx, hQ, dQ, n)
+	if err != nil {
+		return err
+	}
+
+	wantS, wantQ := bicgRef(a, rv, pv, n)
+	if err := checkF32s("bicg s", s, wantS, 1e-5); err != nil {
+		return err
+	}
+	return checkF32s("bicg q", q, wantQ, 1e-5)
+}
+
+// bicgRef is the sequential reference: s = A^T r, q = A p, with the same
+// accumulation order as the kernels.
+func bicgRef(a, r, p []float32, n int) (s, q []float32) {
+	s = make([]float32, n)
+	for j := 0; j < n; j++ {
+		sum := float32(0)
+		for i := 0; i < n; i++ {
+			sum += a[i*n+j] * r[i]
+		}
+		s[j] = sum
+	}
+	q = make([]float32, n)
+	for i := 0; i < n; i++ {
+		sum := float32(0)
+		for j := 0; j < n; j++ {
+			sum += a[i*n+j] * p[j]
+		}
+		q[i] = sum
+	}
+	return s, q
+}
+
+func init() {
+	register(&App{
+		Name:            "bicg",
+		Description:     "BiCGStab linear solver sub-kernels (s = A^T r, q = A p)",
+		Suite:           "polybench",
+		WarpsPerCTA:     8,
+		SourceFile:      "bicg.mir",
+		Source:          bicgSource,
+		Run:             runBicg,
+		BypassFavorable: true,
+	})
+}

@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/rt"
+)
+
+// hotspot is Rodinia's thermal simulation: a Jacobi stencil over the chip
+// temperature grid driven by the power grid. Each 16x16 CTA stages an
+// 18x18 halo tile in shared memory behind a barrier; the edge threads
+// fetch the (clamped) halo cells through "tx == 0"-style guards, the
+// source of hotspot's ~33% divergent blocks in Table 3. Row-major
+// tile rows make the global accesses well coalesced (the low unique-line
+// counts of Figure 5), and since every cell is read once per kernel the
+// reuse profile is dominated by no-reuse (Figure 4).
+const hotspotSource = `
+module hotspot
+
+kernel @hotspot_kernel(%t: ptr, %p: ptr, %out: ptr, %rows: i32, %cols: i32, %cap: f32) {
+  shared @ts: f32[324]
+entry:
+  %tx = sreg tid.x
+  %ty = sreg tid.y
+  %bx = sreg ctaid.x
+  %by = sreg ctaid.y
+  %rb = mul i32 %by, 16
+  %r  = add i32 %rb, %ty
+  %cb = mul i32 %bx, 16
+  %c  = add i32 %cb, %tx
+  %tsp = shptr @ts
+  %ty1 = add i32 %ty, 1
+  %li0 = mul i32 %ty1, 18
+  %li1 = add i32 %li0, %tx
+  %li  = add i32 %li1, 1
+  %row = mul i32 %r, %cols
+  %gi  = add i32 %row, %c
+  %ga  = gep %t, %gi, 4
+  %tv  = ld f32 global [%ga]
+  %sa  = gep %tsp, %li, 4
+  st f32 shared [%sa], %tv
+  %cwh = icmp eq i32 %tx, 0
+  cbr %cwh, west_halo, west_done
+west_halo:
+  %ccg  = icmp gt i32 %c, 0
+  %wgi  = sub i32 %gi, 1
+  %wsel = select i32 %ccg, %wgi, %gi
+  %pwv  = gep %t, %wsel, 4
+  %wv   = ld f32 global [%pwv]
+  %lw   = sub i32 %li, 1
+  %plw  = gep %tsp, %lw, 4
+  st f32 shared [%plw], %wv
+  br west_done
+west_done:
+  %ceh = icmp eq i32 %tx, 15
+  cbr %ceh, east_halo, east_done
+east_halo:
+  %cmax = sub i32 %cols, 1
+  %ccl  = icmp lt i32 %c, %cmax
+  %egi  = add i32 %gi, 1
+  %esel = select i32 %ccl, %egi, %gi
+  %pev  = gep %t, %esel, 4
+  %ev   = ld f32 global [%pev]
+  %le   = add i32 %li, 1
+  %ple  = gep %tsp, %le, 4
+  st f32 shared [%ple], %ev
+  br east_done
+east_done:
+  %cnh = icmp eq i32 %ty, 0
+  cbr %cnh, north_halo, north_done
+north_halo:
+  %crg  = icmp gt i32 %r, 0
+  %ngi  = sub i32 %gi, %cols
+  %nsel = select i32 %crg, %ngi, %gi
+  %pnv  = gep %t, %nsel, 4
+  %nv   = ld f32 global [%pnv]
+  %ln   = sub i32 %li, 18
+  %pln  = gep %tsp, %ln, 4
+  st f32 shared [%pln], %nv
+  br north_done
+north_done:
+  %csh = icmp eq i32 %ty, 15
+  cbr %csh, south_halo, south_done
+south_halo:
+  %rmax = sub i32 %rows, 1
+  %crl  = icmp lt i32 %r, %rmax
+  %sgi  = add i32 %gi, %cols
+  %ssel = select i32 %crl, %sgi, %gi
+  %psv  = gep %t, %ssel, 4
+  %sv   = ld f32 global [%psv]
+  %lsb  = add i32 %li, 18
+  %pls  = gep %tsp, %lsb, 4
+  st f32 shared [%pls], %sv
+  br south_done
+south_done:
+  bar
+  %center = ld f32 shared [%sa]
+  %lnn = sub i32 %li, 18
+  %pn2 = gep %tsp, %lnn, 4
+  %tn  = ld f32 shared [%pn2]
+  %lss = add i32 %li, 18
+  %ps2 = gep %tsp, %lss, 4
+  %tsv = ld f32 shared [%ps2]
+  %lww = sub i32 %li, 1
+  %pw2 = gep %tsp, %lww, 4
+  %tw  = ld f32 shared [%pw2]
+  %lee = add i32 %li, 1
+  %pe2 = gep %tsp, %lee, 4
+  %te  = ld f32 shared [%pe2]
+  %pa = gep %p, %gi, 4
+  %pw = ld f32 global [%pa]
+  %s1 = fadd f32 %tn, %tsv
+  %s2 = fadd f32 %tw, %te
+  %s3 = fadd f32 %s1, %s2
+  %c4 = fmul f32 %center, 4.0
+  %s4 = fsub f32 %s3, %c4
+  %s5 = fadd f32 %s4, %pw
+  %dl = fmul f32 %s5, %cap
+  %nv2 = fadd f32 %center, %dl
+  %oa = gep %out, %gi, 4
+  st f32 global [%oa], %nv2
+  ret
+}
+`
+
+func hotspotDim(scale int) int { return 96 * scale }
+
+func runHotspot(ctx *rt.Context, prog *instrument.Program, scale int) error {
+	defer ctx.Enter("main")()
+	dim := hotspotDim(scale)
+	r := rng(3)
+	temp := make([]float32, dim*dim)
+	power := make([]float32, dim*dim)
+	for i := range temp {
+		temp[i] = 320 + 10*r.Float32()
+		power[i] = r.Float32() * 0.5
+	}
+	const cap = float32(0.05)
+	const iters = 2
+
+	defer ctx.Enter("compute_tran_temp")()
+	dT, _, err := uploadF32s(ctx, "MatrixTemp", temp)
+	if err != nil {
+		return err
+	}
+	dP, _, err := uploadF32s(ctx, "MatrixPower", power)
+	if err != nil {
+		return err
+	}
+	hOut := ctx.Malloc(int64(4*dim*dim), "MatrixOut")
+	dOut, err := ctx.CudaMalloc(int64(4 * dim * dim))
+	if err != nil {
+		return err
+	}
+
+	grid := rt.Dim2(dim/16, dim/16)
+	src, dst := dT, dOut
+	for it := 0; it < iters; it++ {
+		if _, err := ctx.Launch(prog, "hotspot_kernel", grid, rt.Dim2(16, 16),
+			rt.Ptr(src), rt.Ptr(dP), rt.Ptr(dst),
+			rt.I32(int32(dim)), rt.I32(int32(dim)), rt.F32(cap)); err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+
+	got, err := downloadF32s(ctx, hOut, src, dim*dim)
+	if err != nil {
+		return err
+	}
+	want := hotspotRef(temp, power, cap, dim, iters)
+	return checkF32s("hotspot temp", got, want, 1e-4)
+}
+
+// hotspotRef runs the same clamped Jacobi stencil sequentially.
+func hotspotRef(temp, power []float32, cap float32, dim, iters int) []float32 {
+	cur := append([]float32(nil), temp...)
+	next := make([]float32, dim*dim)
+	at := func(g []float32, r, c int) float32 {
+		if r < 0 {
+			r = 0
+		}
+		if r >= dim {
+			r = dim - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c >= dim {
+			c = dim - 1
+		}
+		return g[r*dim+c]
+	}
+	for it := 0; it < iters; it++ {
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				center := cur[r*dim+c]
+				// Same association order as the kernel.
+				s1 := at(cur, r-1, c) + at(cur, r+1, c)
+				s2 := at(cur, r, c-1) + at(cur, r, c+1)
+				s := (s1 + s2 - center*4) + power[r*dim+c]
+				next[r*dim+c] = center + s*cap
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func init() {
+	register(&App{
+		Name:            "hotspot",
+		Description:     "Chip temperature simulation: clamped Jacobi stencil with shared-memory tiles",
+		Suite:           "rodinia",
+		WarpsPerCTA:     8,
+		SourceFile:      "hotspot.mir",
+		Source:          hotspotSource,
+		Run:             runHotspot,
+		BypassFavorable: true,
+	})
+}

@@ -1,0 +1,163 @@
+// Package core is the CUDAAdvisor façade: it wires the three components
+// of Figure 1 — the instrumentation engine, the profiler, and the
+// analyzer — into one object, the way the paper's tool presents itself
+// to a user. A typical session:
+//
+//	adv := core.New(gpu.KeplerK40c(), instrument.MemoryAndBlocks())
+//	prog, _ := adv.Compile(module)             // engine: rewrite bitcode
+//	ctx := adv.Context()                       // profiled host runtime
+//	... allocate, copy, adv/ctx.Launch(prog, ...) ...
+//	adv.WriteReuseReport(os.Stdout)            // analyzer outputs
+//	adv.WriteMemDivergenceReport(os.Stdout)
+//	adv.WriteBranchDivergenceReport(os.Stdout)
+//	adv.WriteCodeCentric(os.Stdout, 3)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/bypass"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/rt"
+)
+
+// DefaultDeviceMem is the simulated global-memory size used by New.
+const DefaultDeviceMem = 512 << 20
+
+// Advisor is one profiling session: an architecture, an instrumentation
+// configuration, a device, and the collected profiles.
+type Advisor struct {
+	Arch     gpu.ArchConfig
+	Opts     instrument.Options
+	Device   *gpu.Device
+	Profiler *profiler.Profiler
+
+	ctx *rt.Context
+}
+
+// New creates an advisor session on the given architecture with the given
+// optional instrumentation categories.
+func New(arch gpu.ArchConfig, opts instrument.Options) *Advisor {
+	a := &Advisor{
+		Arch:     arch,
+		Opts:     opts,
+		Device:   gpu.NewDevice(arch, DefaultDeviceMem),
+		Profiler: profiler.New(),
+	}
+	a.ctx = rt.NewContext(a.Device, a.Profiler)
+	return a
+}
+
+// Context returns the profiled host runtime for this session.
+func (a *Advisor) Context() *rt.Context { return a.ctx }
+
+// Compile runs the instrumentation engine over the module (in place) and
+// returns the launchable program — the Figure 2 pipeline from bitcode to
+// fat binary.
+func (a *Advisor) Compile(m *ir.Module) (*instrument.Program, error) {
+	return instrument.Instrument(m, a.Opts)
+}
+
+// Kernels returns the profiled kernel instances.
+func (a *Advisor) Kernels() []*profiler.KernelProfile { return a.Profiler.Kernels }
+
+// ReuseDistance aggregates the reuse-distance profile over all kernel
+// instances under the given model.
+func (a *Advisor) ReuseDistance(opt analysis.ReuseOptions) *analysis.ReuseResult {
+	var total analysis.ReuseResult
+	for _, kp := range a.Profiler.Kernels {
+		total.Merge(analysis.ReuseDistance(kp.Trace, opt))
+	}
+	return &total
+}
+
+// MemDivergence aggregates the memory-divergence profile over all kernel
+// instances at this architecture's cache-line size.
+func (a *Advisor) MemDivergence() *analysis.MemDivResult {
+	total := &analysis.MemDivResult{LineSize: a.Arch.L1LineSize}
+	for _, kp := range a.Profiler.Kernels {
+		total.Merge(analysis.MemDivergence(kp.Trace, a.Arch.L1LineSize))
+	}
+	return total
+}
+
+// BranchDivergence aggregates the branch-divergence profile over all
+// kernel instances.
+func (a *Advisor) BranchDivergence() *analysis.BranchDivResult {
+	total := &analysis.BranchDivResult{}
+	for _, kp := range a.Profiler.Kernels {
+		total.Merge(analysis.BranchDivergence(kp.Trace, kp.Tables))
+	}
+	return total
+}
+
+// PredictBypassWarps evaluates the Eq. (1) model on this session's
+// profiles: the recommended number of warps per CTA to keep on L1.
+func (a *Advisor) PredictBypassWarps(warpsPerCTA int) int {
+	rdLine := a.ReuseDistance(analysis.LineReuse(a.Arch.L1LineSize))
+	rdElem := a.ReuseDistance(analysis.DefaultElementReuse())
+	md := a.MemDivergence()
+	nCTAs := 0
+	for _, kp := range a.Profiler.Kernels {
+		if kp.Result != nil && kp.Result.CTAs > nCTAs {
+			nCTAs = kp.Result.CTAs
+		}
+	}
+	ctas := bypass.ResidentCTAs(a.Arch, warpsPerCTA, nCTAs)
+	return bypass.PredictFromProfiles(a.Arch, rdLine, rdElem, md, warpsPerCTA, ctas)
+}
+
+// WriteReuseReport renders the Figure 4 style histogram for this session.
+func (a *Advisor) WriteReuseReport(w io.Writer) {
+	for _, name := range a.Profiler.KernelNames() {
+		var total analysis.ReuseResult
+		for _, kp := range a.Profiler.KernelsByName(name) {
+			total.Merge(analysis.ReuseDistance(kp.Trace, analysis.DefaultElementReuse()))
+		}
+		report.ReuseHistogram(w, name, &total)
+	}
+}
+
+// WriteMemDivergenceReport renders the Figure 5 style distribution.
+func (a *Advisor) WriteMemDivergenceReport(w io.Writer) {
+	report.MemDivDistribution(w, "all kernels", a.MemDivergence())
+}
+
+// WriteBranchDivergenceReport renders the Table 3 style summary plus the
+// most divergent blocks.
+func (a *Advisor) WriteBranchDivergenceReport(w io.Writer) {
+	bd := a.BranchDivergence()
+	fmt.Fprintf(w, "branch divergence: %d of %d dynamic blocks divergent (%.2f%%)\n",
+		bd.Divergent, bd.Total, bd.Percent())
+	blocks := bd.Blocks()
+	if len(blocks) > 5 {
+		blocks = blocks[:5]
+	}
+	for _, b := range blocks {
+		fmt.Fprintf(w, "  %s/%s at %s: %d of %d executions divergent\n",
+			b.Block.Func, b.Block.Block, b.Loc, b.Divergent, b.Execs)
+	}
+}
+
+// WriteCodeCentric renders the Figure 8 view: the topN most
+// memory-divergent sites with full host+device call paths.
+func (a *Advisor) WriteCodeCentric(w io.Writer, topN int) {
+	report.CodeCentric(w, a.Profiler, a.MemDivergence(), topN)
+}
+
+// WriteDataCentric renders the Figure 9 view for a device address.
+func (a *Advisor) WriteDataCentric(w io.Writer, devAddr uint64) {
+	report.DataCentric(w, a.Profiler, devAddr)
+}
+
+// InstanceStats summarizes a per-instance metric across all instances of
+// one kernel (the offline analyzer of Section 3.3).
+func (a *Advisor) InstanceStats(kernel string, metric func(*profiler.KernelProfile) float64) analysis.Summary {
+	return analysis.InstanceMetrics(a.Profiler.KernelsByName(kernel), metric)
+}

@@ -1,0 +1,351 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4.2 and 5): Figure 4 (reuse distance), Figure 5
+// (memory divergence on Kepler and Pascal), Table 3 (branch divergence),
+// Figures 6/7 (horizontal cache bypassing), Figures 8/9 (code- and
+// data-centric debugging), and Figure 10 (instrumentation overhead).
+//
+// Each experiment has a data function (returning structured results, used
+// by the tests and benchmarks) and a Write function that renders the
+// paper's presentation of it.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/bypass"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/rt"
+)
+
+// DeviceMemBytes sizes the simulated global memory for every run.
+const DeviceMemBytes = 512 << 20
+
+// Profile runs one application instrumented under a fresh profiler on the
+// given architecture and returns the profiler.
+func Profile(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale int) (*profiler.Profiler, error) {
+	prog, err := app.Instrumented(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: instrument: %w", app.Name, err)
+	}
+	p := profiler.New()
+	ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), p)
+	if err := app.Run(ctx, prog, scale); err != nil {
+		return nil, fmt.Errorf("%s: run: %w", app.Name, err)
+	}
+	return p, nil
+}
+
+// MergedReuse aggregates the reuse profile over every kernel instance.
+func MergedReuse(p *profiler.Profiler, opt analysis.ReuseOptions) *analysis.ReuseResult {
+	var total analysis.ReuseResult
+	for _, kp := range p.Kernels {
+		total.Merge(analysis.ReuseDistance(kp.Trace, opt))
+	}
+	return &total
+}
+
+// MergedMemDiv aggregates memory divergence over every kernel instance.
+func MergedMemDiv(p *profiler.Profiler, lineSize int) *analysis.MemDivResult {
+	total := &analysis.MemDivResult{LineSize: lineSize}
+	for _, kp := range p.Kernels {
+		total.Merge(analysis.MemDivergence(kp.Trace, lineSize))
+	}
+	return total
+}
+
+// MergedBranchDiv aggregates branch divergence over every kernel instance.
+func MergedBranchDiv(p *profiler.Profiler) *analysis.BranchDivResult {
+	total := &analysis.BranchDivResult{}
+	for _, kp := range p.Kernels {
+		total.Merge(analysis.BranchDivergence(kp.Trace, kp.Tables))
+	}
+	return total
+}
+
+// Figure4Apps are the seven applications shown in Figure 4 (bfs and nn
+// are excluded for >99% no-reuse; syr2k resembles syrk).
+var Figure4Apps = []string{"backprop", "hotspot", "lavaMD", "nw", "srad_v2", "bicg", "syrk"}
+
+// Figure4 computes the reuse-distance profiles (element-based model,
+// Kepler only — reuse distance is machine-independent, Section 4.2-A).
+func Figure4(scale int) (map[string]*analysis.ReuseResult, error) {
+	out := make(map[string]*analysis.ReuseResult, len(Figure4Apps))
+	for _, name := range Figure4Apps {
+		p, err := Profile(apps.ByName(name), gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = MergedReuse(p, analysis.DefaultElementReuse())
+	}
+	return out, nil
+}
+
+// WriteFigure4 renders Figure 4.
+func WriteFigure4(w io.Writer, scale int) error {
+	res, err := Figure4(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Figure 4: reuse distance analysis (element-based, per CTA) ===")
+	for _, name := range Figure4Apps {
+		report.ReuseHistogram(w, name, res[name])
+	}
+	return nil
+}
+
+// Figure5 computes the memory-divergence distributions for one
+// architecture (Kepler: 128 B lines; Pascal: 32 B lines), all ten apps.
+func Figure5(cfg gpu.ArchConfig, scale int) (map[string]*analysis.MemDivResult, error) {
+	out := make(map[string]*analysis.MemDivResult)
+	for _, a := range apps.InTableOrder() {
+		p, err := Profile(a, cfg, instrument.Options{Memory: true}, scale)
+		if err != nil {
+			return nil, err
+		}
+		out[a.Name] = MergedMemDiv(p, cfg.L1LineSize)
+	}
+	return out, nil
+}
+
+// WriteFigure5 renders both panels of Figure 5.
+func WriteFigure5(w io.Writer, scale int) error {
+	for _, cfg := range []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()} {
+		res, err := Figure5(cfg, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "=== Figure 5: memory divergence on %s (%d B cache lines) ===\n",
+			cfg.Name, cfg.L1LineSize)
+		for _, a := range apps.InTableOrder() {
+			report.MemDivDistribution(w, a.Name, res[a.Name])
+		}
+	}
+	return nil
+}
+
+// Table3 computes the branch-divergence table (architecture-independent;
+// run on the Pascal configuration as in the paper).
+func Table3(scale int) ([]report.BranchRow, error) {
+	var rows []report.BranchRow
+	for _, a := range apps.InTableOrder() {
+		p, err := Profile(a, gpu.PascalP100(), instrument.Options{Blocks: true}, scale)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, report.BranchRow{App: a.Name, Result: MergedBranchDiv(p)})
+	}
+	return rows, nil
+}
+
+// WriteTable3 renders Table 3.
+func WriteTable3(w io.Writer, scale int) error {
+	rows, err := Table3(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Table 3: branch divergence ===")
+	report.BranchDivTable(w, rows)
+	return nil
+}
+
+// runCycles executes an app natively with the given bypassing setting and
+// returns the summed modeled kernel cycles.
+func runCycles(app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (int64, error) {
+	prog, err := app.Native()
+	if err != nil {
+		return 0, err
+	}
+	counter := rt.NewCycleCounter()
+	ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
+	ctx.Options.L1Warps = l1Warps
+	if err := app.Run(ctx, prog, scale); err != nil {
+		return 0, err
+	}
+	return counter.Cycles, nil
+}
+
+// BypassRunScale is the input scale for the bypassing timing runs: large
+// enough that the grids fill the SMs (the occupancy the capacity study
+// depends on). Profiling for the model inputs stays at the base scale —
+// the per-CTA reuse and divergence profiles are scale-invariant.
+const BypassRunScale = 2
+
+// BypassStudy runs the Figures 6/7 comparison for one architecture
+// configuration over the bypass-favorable applications: baseline (no
+// bypassing), exhaustive oracle, and the Eq. (1) prediction driven by the
+// tool's own reuse-distance and memory-divergence outputs.
+func BypassStudy(cfg gpu.ArchConfig, scale int) ([]bypass.Comparison, error) {
+	var out []bypass.Comparison
+	for _, a := range apps.InTableOrder() {
+		if !a.BypassFavorable {
+			continue
+		}
+		// Step 1: profile to obtain the model inputs (Section 4.2-D uses
+		// the memory tracing of case studies A and B).
+		p, err := Profile(a, cfg, instrument.Options{Memory: true}, scale)
+		if err != nil {
+			return nil, err
+		}
+		rdLine := MergedReuse(p, analysis.LineReuse(cfg.L1LineSize))
+		rdElem := MergedReuse(p, analysis.DefaultElementReuse())
+		md := MergedMemDiv(p, cfg.L1LineSize)
+		nCTAs := 0
+		for _, kp := range p.Kernels {
+			if kp.Result != nil && kp.Result.CTAs > nCTAs {
+				nCTAs = kp.Result.CTAs
+			}
+		}
+		// The timing runs use BypassRunScale-times the profiled grid.
+		ctasPerSM := bypass.ResidentCTAs(cfg, a.WarpsPerCTA, nCTAs*BypassRunScale*BypassRunScale)
+		predict := bypass.PredictFromProfiles(cfg, rdLine, rdElem, md, a.WarpsPerCTA, ctasPerSM)
+
+		// Step 2: measure baseline / oracle / prediction on native code.
+		cmp, err := bypass.Compare(a.Name, cfg.Name, cfg, a.WarpsPerCTA, predict,
+			func(k int) (int64, error) {
+				l1Warps := k
+				if k >= a.WarpsPerCTA {
+					l1Warps = 0 // rt semantics: 0 = no bypassing
+				}
+				return runCycles(a, cfg, l1Warps, scale*BypassRunScale)
+			})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// Figure6Configs are the Kepler L1 splits of Figure 6.
+func Figure6Configs() []gpu.ArchConfig {
+	return []gpu.ArchConfig{
+		gpu.KeplerK40c().WithL1(16 * 1024),
+		gpu.KeplerK40c().WithL1(48 * 1024),
+	}
+}
+
+// WriteFigure6 renders Figure 6 (Kepler, 16 KB and 48 KB L1).
+func WriteFigure6(w io.Writer, scale int) error {
+	for _, cfg := range Figure6Configs() {
+		rows, err := BypassStudy(cfg, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "=== Figure 6: horizontal cache bypassing on %s, %d KB L1 (normalized time) ===\n",
+			cfg.Name, cfg.L1Bytes/1024)
+		report.BypassComparison(w, rows)
+	}
+	return nil
+}
+
+// WriteFigure7 renders Figure 7 (Pascal, 24 KB unified cache).
+func WriteFigure7(w io.Writer, scale int) error {
+	cfg := gpu.PascalP100()
+	rows, err := BypassStudy(cfg, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== Figure 7: horizontal cache bypassing on %s, %d KB unified cache (normalized time) ===\n",
+		cfg.Name, cfg.L1Bytes/1024)
+	report.BypassComparison(w, rows)
+	return nil
+}
+
+// Overhead measures the wall-clock slowdown of memory+control-flow
+// instrumentation for every application on one architecture (Figure 10):
+// the ratio of kernel-execution wall time between the instrumented and
+// native builds on the same simulator (the paper measures "runtime
+// overheads of running GPU kernels").
+func Overhead(cfg gpu.ArchConfig, scale int) ([]report.OverheadRow, error) {
+	const reps = 3 // repetitions to amortize wall-clock jitter on small kernels
+	var rows []report.OverheadRow
+	for _, a := range apps.InTableOrder() {
+		native, err := a.Native()
+		if err != nil {
+			return nil, err
+		}
+		nativeSec := 0.0
+		for r := 0; r < reps; r++ {
+			ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), nil)
+			if err := a.Run(ctx, native, scale); err != nil {
+				return nil, err
+			}
+			nativeSec += ctx.KernelTime.Seconds()
+		}
+
+		prog, err := a.Instrumented(instrument.MemoryAndBlocks())
+		if err != nil {
+			return nil, err
+		}
+		profiledSec := 0.0
+		for r := 0; r < reps; r++ {
+			p := profiler.New()
+			ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), p)
+			if err := a.Run(ctx, prog, scale); err != nil {
+				return nil, err
+			}
+			profiledSec += ctx.KernelTime.Seconds()
+		}
+
+		rows = append(rows, report.OverheadRow{
+			App: a.Name, Arch: cfg.Name, Native: nativeSec, Profiled: profiledSec,
+		})
+	}
+	return rows, nil
+}
+
+// WriteFigure10 renders Figure 10 for both architectures.
+func WriteFigure10(w io.Writer, scale int) error {
+	fmt.Fprintln(w, "=== Figure 10: overhead of memory and control-flow instrumentation ===")
+	for _, cfg := range []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()} {
+		rows, err := Overhead(cfg, scale)
+		if err != nil {
+			return err
+		}
+		report.OverheadTable(w, rows)
+	}
+	return nil
+}
+
+// WriteCodeDataCentric renders the Figures 8/9 debugging views for bfs:
+// the most divergent source sites with full host-to-device call paths,
+// and the data-flow provenance of the object behind the worst site.
+func WriteCodeDataCentric(w io.Writer, scale int) error {
+	a := apps.ByName("bfs")
+	p, err := Profile(a, gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+	if err != nil {
+		return err
+	}
+	md := MergedMemDiv(p, gpu.KeplerK40c().L1LineSize)
+	fmt.Fprintln(w, "=== Figure 8: code-centric view (most memory-divergent sites) ===")
+	report.CodeCentric(w, p, md, 3)
+
+	fmt.Fprintln(w, "=== Figure 9: data-centric view (object behind the worst site) ===")
+	if sites := md.Sites(); len(sites) > 0 {
+		// Find a memory record at the worst site and chase its address.
+		worst := sites[0]
+		for _, kp := range p.Kernels {
+			for i := range kp.Trace.Mem {
+				m := &kp.Trace.Mem[i]
+				if kp.Trace.Locs.Loc(m.Loc) == worst.Loc {
+					lane := 0
+					for l := 0; l < 32; l++ {
+						if m.Mask&(1<<uint(l)) != 0 {
+							lane = l
+							break
+						}
+					}
+					report.DataCentric(w, p, m.Addrs[lane])
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}

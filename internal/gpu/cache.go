@@ -1,0 +1,158 @@
+package gpu
+
+// l1cache is a set-associative data cache with LRU replacement and the
+// GPU L1 policy the paper's reuse-distance definition assumes:
+// write-no-allocate, write-evict (a store invalidates the line and writes
+// through, so the next read of that address misses).
+type l1cache struct {
+	lineSize  int
+	sets      int
+	assoc     int
+	lineShift uint
+
+	// tags[set*assoc+way]; valid bit folded in (tag 0 invalid marker uses
+	// the valid slice instead, since address 0 is reserved anyway).
+	tags  []uint64
+	valid []bool
+	// lru[set*assoc+way]: recency stamp; larger = more recent.
+	lru   []int64
+	stamp int64
+
+	// CacheStats counters.
+	stats CacheStats
+}
+
+// CacheStats summarizes L1 behaviour for a launch.
+type CacheStats struct {
+	Accesses int64 // L1 lookups (read transactions through the cache)
+	Hits     int64
+	Misses   int64
+	Bypassed int64 // read transactions that skipped L1
+	Writes   int64 // write transactions (write-through, never allocate)
+}
+
+// HitRate returns hits/accesses, or 0 when there were no accesses.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+func newL1(cfg ArchConfig) *l1cache {
+	sets := cfg.L1Sets()
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.L1LineSize {
+		shift++
+	}
+	n := sets * cfg.L1Assoc
+	return &l1cache{
+		lineSize:  cfg.L1LineSize,
+		sets:      sets,
+		assoc:     cfg.L1Assoc,
+		lineShift: shift,
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		lru:       make([]int64, n),
+	}
+}
+
+func (c *l1cache) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+// read performs a read lookup for the line containing addr, allocating on
+// miss. It reports whether the access hit.
+func (c *l1cache) read(addr uint64) bool {
+	c.stats.Accesses++
+	line := c.lineOf(addr)
+	set := int(line % uint64(c.sets))
+	base := set * c.assoc
+	c.stamp++
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.lru[base+w] = c.stamp
+			c.stats.Hits++
+			return true
+		}
+	}
+	// Miss: allocate into the LRU way.
+	c.stats.Misses++
+	victim := base
+	for w := 1; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// write performs a write-through, write-evict store transaction: the line
+// is invalidated if present and never allocated.
+func (c *l1cache) write(addr uint64) {
+	c.stats.Writes++
+	line := c.lineOf(addr)
+	set := int(line % uint64(c.sets))
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.valid[base+w] = false
+			return
+		}
+	}
+}
+
+// bypass records a read transaction that skipped the cache.
+func (c *l1cache) bypass() { c.stats.Bypassed++ }
+
+// mshr models the SM's miss-status holding registers as a bounded FIFO of
+// outstanding-miss completion times. Because the per-SM scheduler always
+// runs the minimum-ready warp, allocation times are non-decreasing and a
+// FIFO suffices.
+type mshr struct {
+	completions []int64 // ring buffer
+	head, n     int
+	cap         int
+
+	// StallCycles accumulates time warps spent waiting for a free entry.
+	stallCycles int64
+}
+
+func newMSHR(capacity int) *mshr {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &mshr{completions: make([]int64, capacity), cap: capacity}
+}
+
+// alloc reserves an entry for a miss issued at time now that completes at
+// now+latency (after any stall for a free entry). It returns the
+// completion time of the new miss.
+func (m *mshr) alloc(now int64, latency int64) int64 {
+	// Retire completed entries.
+	for m.n > 0 && m.completions[m.head] <= now {
+		m.head = (m.head + 1) % m.cap
+		m.n--
+	}
+	start := now
+	if m.n == m.cap {
+		// Stall until the oldest outstanding miss retires.
+		earliest := m.completions[m.head]
+		m.stallCycles += earliest - now
+		start = earliest
+		m.head = (m.head + 1) % m.cap
+		m.n--
+	}
+	done := start + latency
+	m.completions[(m.head+m.n)%m.cap] = done
+	m.n++
+	return done
+}

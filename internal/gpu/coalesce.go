@@ -1,0 +1,40 @@
+package gpu
+
+// coalesceLines appends to dst the unique cache-line base addresses
+// touched by the active lanes of one warp memory instruction, in first-
+// touch order — the behaviour of the coalescing unit that sits in front
+// of L1. Accesses that straddle a line boundary contribute both lines.
+// dst is returned to allow reuse of the caller's buffer.
+func coalesceLines(dst []uint64, mask uint32, addrs *[WarpSize]uint64, size, lineSize int) []uint64 {
+	dst = dst[:0]
+	ls := uint64(lineSize)
+	add := func(line uint64) []uint64 {
+		for _, l := range dst {
+			if l == line {
+				return dst
+			}
+		}
+		return append(dst, line)
+	}
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		a := addrs[lane]
+		first := a / ls
+		last := (a + uint64(size) - 1) / ls
+		dst = add(first * ls)
+		if last != first {
+			dst = add(last * ls)
+		}
+	}
+	return dst
+}
+
+// UniqueLines returns the number of unique cache lines touched by the
+// masked addresses — the per-instruction memory-divergence quantity from
+// Section 4.2(B) of the paper. Exported for the analyzer.
+func UniqueLines(mask uint32, addrs *[WarpSize]uint64, size, lineSize int) int {
+	var buf [2 * WarpSize]uint64
+	return len(coalesceLines(buf[:0], mask, addrs, size, lineSize))
+}

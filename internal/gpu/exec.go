@@ -1,0 +1,941 @@
+package gpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cudaadvisor/internal/ir"
+)
+
+// LaneValues carries one value per warp lane, the shape in which hook
+// arguments reach the profiler (the paper's Record() receives the
+// effective address computed by each thread).
+type LaneValues [WarpSize]uint64
+
+// WarpView is the read-mostly execution context handed to instrumentation
+// hooks. HookCtx is scratch space owned by the hook implementation (the
+// profiler stores its calling-context node id there, its shadow stack).
+type WarpView struct {
+	CTALinear  int
+	CTACoord   [3]int
+	WarpInCTA  int
+	ActiveMask uint32
+	InitMask   uint32
+	SM         int
+	Cycle      int64
+	HookCtx    int32
+}
+
+// Hooks receives instrumentation callbacks during kernel execution: one
+// call per executed hook instruction (call to an ir.HookPrefix function),
+// with per-lane argument values. Implemented by the profiler.
+type Hooks interface {
+	OnHook(w *WarpView, call *ir.Instr, args []LaneValues) error
+}
+
+// LaunchParams configures one kernel launch.
+type LaunchParams struct {
+	Grid  [3]int
+	Block [3]int
+	// Args are the kernel parameter values as register bit patterns
+	// (device addresses for ptr parameters).
+	Args []uint64
+
+	// Hooks receives instrumentation callbacks; nil runs uninstrumented
+	// code (hook calls, if present, are skipped at zero model cost).
+	Hooks Hooks
+
+	// L1WarpsPerCTA enables horizontal cache bypassing (Section 4.2(D)):
+	// warps with in-CTA id < L1WarpsPerCTA access L1, the rest bypass it.
+	// Negative disables bypassing (all warps use L1).
+	L1WarpsPerCTA int
+
+	// MaxWarpInstrs aborts runaway kernels; 0 means the default guard.
+	MaxWarpInstrs int64
+}
+
+// LaunchResult reports functional and model-timing outcomes of a launch.
+type LaunchResult struct {
+	Cycles      int64 // modeled kernel duration (max over SMs)
+	WarpInstrs  int64 // dynamic warp-level instructions executed
+	MemInstrs   int64 // dynamic warp-level global-memory instructions
+	HookCalls   int64
+	Cache       CacheStats
+	MSHRStalls  int64
+	CTAs        int
+	WarpsPerCTA int
+}
+
+// Device is a simulated GPU: an architecture configuration plus global
+// memory. It is the execution engine under the host runtime (package rt).
+type Device struct {
+	Cfg ArchConfig
+	Mem *DeviceMemory
+}
+
+// NewDevice creates a device with the given global-memory capacity.
+func NewDevice(cfg ArchConfig, memBytes int64) *Device {
+	return &Device{Cfg: cfg, Mem: NewDeviceMemory(memBytes)}
+}
+
+// Fault is an execution error raised by a kernel (out-of-range access,
+// division by zero, divergent barrier, runaway loop), attributed to the
+// faulting instruction's source location.
+type Fault struct {
+	Kernel string
+	Loc    ir.Loc
+	CTA    int
+	Warp   int
+	Msg    string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("gpu fault in kernel %s at %s (cta %d, warp %d): %s",
+		f.Kernel, f.Loc, f.CTA, f.Warp, f.Msg)
+}
+
+const (
+	reconvNever = -100 // reconvergence PC that never matches a block
+	deadBlock   = -1   // placeholder PC for entries waiting to drain
+)
+
+type simtEntry struct {
+	block  int // current block index, or deadBlock
+	idx    int // next instruction index within block
+	reconv int // reconvergence block index, or reconvNever
+	mask   uint32
+}
+
+type frame struct {
+	fn       *ir.Function
+	regs     []uint64 // flat [reg*WarpSize + lane]
+	stack    []simtEntry
+	retDst   int // caller destination register (-1 none)
+	retVals  LaneValues
+	callMask uint32
+}
+
+func (fr *frame) reg(r, lane int) uint64       { return fr.regs[r*WarpSize+lane] }
+func (fr *frame) setReg(r, lane int, v uint64) { fr.regs[r*WarpSize+lane] = v }
+
+func (fr *frame) operand(a *ir.Operand, lane int) uint64 {
+	if a.Kind == ir.KReg {
+		return fr.regs[a.Reg*WarpSize+lane]
+	}
+	return ir.ConstBits(*a)
+}
+
+type warpState struct {
+	view      WarpView
+	cta       *ctaState
+	frames    []*frame
+	readyAt   int64
+	atBarrier bool
+	done      bool
+	initMask  uint32
+}
+
+func (w *warpState) liveMask() uint32 {
+	if len(w.frames) == 0 {
+		return 0
+	}
+	m := uint32(0)
+	for _, e := range w.frames[0].stack {
+		m |= e.mask
+	}
+	return m
+}
+
+type ctaState struct {
+	id        int
+	coord     [3]int
+	shared    *sharedMem
+	warps     []*warpState
+	arrived   int
+	barrierAt int64
+	liveWarps int
+}
+
+// launchState carries per-launch machinery.
+type launchState struct {
+	dev    *Device
+	cfg    ArchConfig
+	kernel *ir.Function
+	p      LaunchParams
+	ipdoms map[*ir.Function][]int
+	res    LaunchResult
+
+	// per-SM, reset between SMs
+	l1       *l1cache
+	memQ     *mshr
+	mshrs    *mshr
+	portFree int64 // next cycle the L1 port is available
+	sm       int
+
+	lineBuf []uint64
+	instrs  int64
+	guard   int64
+}
+
+// Launch executes the kernel on the device. The kernel's module must be
+// finalized and verified. Execution is deterministic: warps are scheduled
+// minimum-ready-time first with stable tie-breaking, SMs are simulated in
+// order.
+func (d *Device) Launch(kernel *ir.Function, p LaunchParams) (*LaunchResult, error) {
+	if kernel == nil || !kernel.IsKernel {
+		return nil, fmt.Errorf("gpu: Launch requires a kernel")
+	}
+	if kernel.Module() == nil {
+		return nil, fmt.Errorf("gpu: kernel %s not finalized", kernel.Name)
+	}
+	if len(p.Args) != len(kernel.Params) {
+		return nil, fmt.Errorf("gpu: kernel %s wants %d args, got %d",
+			kernel.Name, len(kernel.Params), len(p.Args))
+	}
+	for i := range p.Grid {
+		if p.Grid[i] <= 0 {
+			p.Grid[i] = 1
+		}
+		if p.Block[i] <= 0 {
+			p.Block[i] = 1
+		}
+	}
+	threadsPerCTA := p.Block[0] * p.Block[1] * p.Block[2]
+	if threadsPerCTA > 1024 {
+		return nil, fmt.Errorf("gpu: %d threads per CTA exceeds 1024", threadsPerCTA)
+	}
+	if kernel.SharedBytes > d.Cfg.SharedMemPerBlock {
+		return nil, fmt.Errorf("gpu: kernel %s needs %d bytes shared memory, limit %d",
+			kernel.Name, kernel.SharedBytes, d.Cfg.SharedMemPerBlock)
+	}
+
+	ls := &launchState{
+		dev:    d,
+		cfg:    d.Cfg,
+		kernel: kernel,
+		p:      p,
+		ipdoms: map[*ir.Function][]int{},
+		guard:  p.MaxWarpInstrs,
+	}
+	if ls.guard <= 0 {
+		ls.guard = 1 << 31
+	}
+	for _, f := range kernel.Module().Funcs {
+		ls.ipdoms[f] = ir.PostDominators(f)
+	}
+
+	nCTAs := p.Grid[0] * p.Grid[1] * p.Grid[2]
+	warpsPerCTA := (threadsPerCTA + WarpSize - 1) / WarpSize
+	ls.res.CTAs = nCTAs
+	ls.res.WarpsPerCTA = warpsPerCTA
+
+	// Static round-robin CTA-to-SM distribution, as on hardware when all
+	// CTAs have equal cost.
+	nSMs := d.Cfg.SMs
+	if nSMs < 1 {
+		nSMs = 1
+	}
+	maxCycles := int64(0)
+	for sm := 0; sm < nSMs; sm++ {
+		var ctaIDs []int
+		for c := sm; c < nCTAs; c += nSMs {
+			ctaIDs = append(ctaIDs, c)
+		}
+		if len(ctaIDs) == 0 {
+			continue
+		}
+		cycles, err := ls.runSM(sm, ctaIDs, threadsPerCTA, warpsPerCTA)
+		if err != nil {
+			return nil, err
+		}
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+	}
+	ls.res.Cycles = maxCycles
+	ls.res.WarpInstrs = ls.instrs
+	return &ls.res, nil
+}
+
+// runSM simulates one SM over its CTA queue and returns its busy cycles.
+func (ls *launchState) runSM(sm int, ctaIDs []int, threadsPerCTA, warpsPerCTA int) (int64, error) {
+	ls.sm = sm
+	ls.l1 = newL1(ls.cfg)
+	ls.mshrs = newMSHR(ls.cfg.MSHRs)
+	ls.memQ = newMSHR(ls.cfg.MemQueue)
+	ls.portFree = 0
+	defer func() {
+		ls.res.Cache.Accesses += ls.l1.stats.Accesses
+		ls.res.Cache.Hits += ls.l1.stats.Hits
+		ls.res.Cache.Misses += ls.l1.stats.Misses
+		ls.res.Cache.Bypassed += ls.l1.stats.Bypassed
+		ls.res.Cache.Writes += ls.l1.stats.Writes
+		ls.res.MSHRStalls += ls.mshrs.stallCycles
+	}()
+
+	occupancy := ls.cfg.MaxCTAsPerSM
+	if byWarps := ls.cfg.MaxWarpsPerSM / warpsPerCTA; byWarps < occupancy {
+		occupancy = byWarps
+	}
+	if occupancy < 1 {
+		occupancy = 1
+	}
+
+	var resident []*ctaState
+	next := 0
+	issueAt := int64(0) // next free issue slot (1 instruction per cycle)
+	finish := int64(0)
+	var lastRun *warpState
+
+	admit := func(at int64) {
+		for len(resident) < occupancy && next < len(ctaIDs) {
+			cta := ls.newCTA(ctaIDs[next], threadsPerCTA, warpsPerCTA, at)
+			resident = append(resident, cta)
+			next++
+		}
+	}
+	admit(0)
+
+	for len(resident) > 0 {
+		// Greedy-then-oldest issue through a single-issue port: the last
+		// warp keeps the slot while it is ready; otherwise the oldest
+		// ready warp (admission order) gets it; if nobody is ready the
+		// port idles until the earliest wakeup. GTO lets warps drift
+		// apart as on hardware, which is what exposes inter-warp reuse
+		// to capacity pressure.
+		var w *warpState
+		if lastRun != nil && !lastRun.done && !lastRun.atBarrier && lastRun.readyAt <= issueAt {
+			w = lastRun
+		} else {
+			minReady := int64(-1)
+			for _, cta := range resident {
+				for _, cand := range cta.warps {
+					if cand.done || cand.atBarrier {
+						continue
+					}
+					if minReady < 0 || cand.readyAt < minReady {
+						minReady = cand.readyAt
+					}
+					if w == nil && cand.readyAt <= issueAt {
+						w = cand
+					}
+				}
+			}
+			if w == nil {
+				if minReady < 0 {
+					// Everything is blocked on barriers: a lost-warp deadlock.
+					return 0, &Fault{Kernel: ls.kernel.Name, CTA: resident[0].id,
+						Msg: "barrier deadlock: all warps waiting"}
+				}
+				issueAt = minReady
+				continue
+			}
+		}
+		if err := ls.step(w, issueAt); err != nil {
+			return 0, err
+		}
+		lastRun = w
+		issueAt++
+		if w.readyAt > finish {
+			finish = w.readyAt
+		}
+
+		// Retire finished CTAs, admit pending ones.
+		liveResident := resident[:0]
+		retired := false
+		for _, cta := range resident {
+			if cta.liveWarps == 0 {
+				retired = true
+				continue
+			}
+			liveResident = append(liveResident, cta)
+		}
+		resident = liveResident
+		if retired {
+			admit(issueAt)
+		}
+	}
+	return finish, nil
+}
+
+// newCTA builds the warp states for one CTA.
+func (ls *launchState) newCTA(id, threadsPerCTA, warpsPerCTA int, at int64) *ctaState {
+	g := ls.p.Grid
+	coord := [3]int{id % g[0], (id / g[0]) % g[1], id / (g[0] * g[1])}
+	cta := &ctaState{
+		id:     id,
+		coord:  coord,
+		shared: newSharedMem(ls.kernel.SharedBytes),
+	}
+	for wi := 0; wi < warpsPerCTA; wi++ {
+		mask := uint32(0)
+		for lane := 0; lane < WarpSize; lane++ {
+			if wi*WarpSize+lane < threadsPerCTA {
+				mask |= 1 << uint(lane)
+			}
+		}
+		fr := ls.newFrame(ls.kernel, mask, -1, 0)
+		// Bind parameters (uniform across lanes).
+		for pi := range ls.kernel.Params {
+			for lane := 0; lane < WarpSize; lane++ {
+				fr.setReg(pi, lane, ls.p.Args[pi])
+			}
+		}
+		w := &warpState{
+			cta:      cta,
+			frames:   []*frame{fr},
+			readyAt:  at,
+			initMask: mask,
+			view: WarpView{
+				CTALinear: id,
+				CTACoord:  coord,
+				WarpInCTA: wi,
+				InitMask:  mask,
+				SM:        ls.sm,
+			},
+		}
+		cta.warps = append(cta.warps, w)
+	}
+	cta.liveWarps = len(cta.warps)
+	return cta
+}
+
+func (ls *launchState) newFrame(fn *ir.Function, mask uint32, retDst int, _ int64) *frame {
+	return &frame{
+		fn:       fn,
+		regs:     make([]uint64, fn.NumRegs*WarpSize),
+		stack:    []simtEntry{{block: 0, idx: 0, reconv: reconvNever, mask: mask}},
+		retDst:   retDst,
+		callMask: mask,
+	}
+}
+
+func (ls *launchState) fault(w *warpState, loc ir.Loc, format string, args ...any) error {
+	return &Fault{
+		Kernel: ls.kernel.Name,
+		Loc:    loc,
+		CTA:    w.cta.id,
+		Warp:   w.view.WarpInCTA,
+		Msg:    fmt.Sprintf(format, args...),
+	}
+}
+
+// step executes one warp instruction issued at scheduler time now.
+func (ls *launchState) step(w *warpState, now int64) error {
+	ls.instrs++
+	if ls.instrs > ls.guard {
+		return ls.fault(w, ir.Loc{}, "instruction budget exhausted (%d warp instructions): runaway kernel?", ls.guard)
+	}
+	fr := w.frames[len(w.frames)-1]
+	e := &fr.stack[len(fr.stack)-1]
+	in := fr.fn.Blocks[e.block].Instrs[e.idx]
+	cost := int64(ls.cfg.IssueCost)
+	mask := e.mask
+
+	switch {
+	case in.Op.IsIntBinary():
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, err := ir.EvalIntBin(in.Op, in.Type, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
+			if err != nil {
+				return ls.fault(w, in.Loc, "%v (lane %d)", err, lane)
+			}
+			fr.setReg(in.DstReg, lane, v)
+		}
+		e.idx++
+	case in.Op.IsFloatBinary():
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, err := ir.EvalFloatBin(in.Op, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
+			if err != nil {
+				return ls.fault(w, in.Loc, "%v (lane %d)", err, lane)
+			}
+			fr.setReg(in.DstReg, lane, v)
+		}
+		e.idx++
+	case in.Op.IsFloatUnary():
+		cost += 2 // SFU ops are slower
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, err := ir.EvalFloatUn(in.Op, fr.operand(&in.Args[0], lane))
+			if err != nil {
+				return ls.fault(w, in.Loc, "%v (lane %d)", err, lane)
+			}
+			fr.setReg(in.DstReg, lane, v)
+		}
+		e.idx++
+	case in.Op == ir.OpICmp:
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, err := ir.EvalICmp(in.Pred, in.Type, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
+			if err != nil {
+				return ls.fault(w, in.Loc, "%v", err)
+			}
+			fr.setReg(in.DstReg, lane, v)
+		}
+		e.idx++
+	case in.Op == ir.OpFCmp:
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, err := ir.EvalFCmp(in.Pred, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
+			if err != nil {
+				return ls.fault(w, in.Loc, "%v", err)
+			}
+			fr.setReg(in.DstReg, lane, v)
+		}
+		e.idx++
+	case in.Op == ir.OpSelect:
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			if fr.operand(&in.Args[0], lane)&1 == 1 {
+				fr.setReg(in.DstReg, lane, fr.operand(&in.Args[1], lane))
+			} else {
+				fr.setReg(in.DstReg, lane, fr.operand(&in.Args[2], lane))
+			}
+		}
+		e.idx++
+	case in.Op == ir.OpMov:
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				fr.setReg(in.DstReg, lane, fr.operand(&in.Args[0], lane))
+			}
+		}
+		e.idx++
+	case in.Op == ir.OpSitofp || in.Op == ir.OpFptosi || in.Op == ir.OpSext ||
+		in.Op == ir.OpTrunc || in.Op == ir.OpZext:
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v, err := ir.EvalCvt(in.Op, fr.operand(&in.Args[0], lane))
+			if err != nil {
+				return ls.fault(w, in.Loc, "%v", err)
+			}
+			fr.setReg(in.DstReg, lane, v)
+		}
+		e.idx++
+	case in.Op == ir.OpGEP:
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			base := fr.operand(&in.Args[0], lane)
+			idxBits := fr.operand(&in.Args[1], lane)
+			var idx int64
+			if in.Args[1].Type == ir.I32 {
+				idx = int64(int32(uint32(idxBits)))
+			} else {
+				idx = int64(idxBits)
+			}
+			fr.setReg(in.DstReg, lane, uint64(int64(base)+idx*in.Scale))
+		}
+		e.idx++
+	case in.Op == ir.OpSReg:
+		ls.evalSReg(w, fr, in, mask)
+		e.idx++
+	case in.Op == ir.OpShPtr:
+		sd := fr.fn.SharedArray(in.Callee)
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				fr.setReg(in.DstReg, lane, uint64(sd.Offset))
+			}
+		}
+		e.idx++
+	case in.Op == ir.OpLd:
+		c, err := ls.execLoad(w, fr, in, mask, now)
+		if err != nil {
+			return err
+		}
+		cost += c
+		e.idx++
+	case in.Op == ir.OpSt:
+		c, err := ls.execStore(w, fr, in, mask, now)
+		if err != nil {
+			return err
+		}
+		cost += c
+		e.idx++
+	case in.Op == ir.OpAtom:
+		c, err := ls.execAtomic(w, fr, in, mask)
+		if err != nil {
+			return err
+		}
+		cost += c
+		e.idx++
+	case in.Op == ir.OpBar:
+		live := w.liveMask()
+		if mask != live {
+			return ls.fault(w, in.Loc, "divergent barrier: active %#x of live %#x", mask, live)
+		}
+		e.idx++
+		w.atBarrier = true
+		cta := w.cta
+		cta.arrived++
+		if now > cta.barrierAt {
+			cta.barrierAt = now
+		}
+		ls.releaseBarrierIfReady(cta)
+		w.readyAt = now + cost
+		return nil
+	case in.Op == ir.OpCall:
+		if in.IsHookCall() {
+			ls.res.HookCalls++
+			if ls.p.Hooks != nil {
+				args := make([]LaneValues, len(in.Args))
+				for ai := range in.Args {
+					for lane := 0; lane < WarpSize; lane++ {
+						if mask&(1<<uint(lane)) != 0 {
+							args[ai][lane] = fr.operand(&in.Args[ai], lane)
+						}
+					}
+				}
+				w.view.ActiveMask = mask
+				w.view.Cycle = now
+				if err := ls.p.Hooks.OnHook(&w.view, in, args); err != nil {
+					return ls.fault(w, in.Loc, "hook: %v", err)
+				}
+				cost += int64(ls.cfg.HookCost)
+			}
+			e.idx++
+		} else {
+			callee := in.CalleeFn
+			nf := ls.newFrame(callee, mask, in.DstReg, now)
+			for pi := range callee.Params {
+				for lane := 0; lane < WarpSize; lane++ {
+					if mask&(1<<uint(lane)) != 0 {
+						nf.setReg(pi, lane, fr.operand(&in.Args[pi], lane))
+					}
+				}
+			}
+			// Leave e.idx at the call; it advances when the frame returns.
+			w.frames = append(w.frames, nf)
+			cost += 4 // call overhead
+		}
+	case in.Op == ir.OpBr:
+		ls.transfer(w, fr, e, in.ThenIdx, mask)
+	case in.Op == ir.OpCBr:
+		var maskT, maskF uint32
+		for lane := 0; lane < WarpSize; lane++ {
+			bit := uint32(1) << uint(lane)
+			if mask&bit == 0 {
+				continue
+			}
+			if fr.operand(&in.Args[0], lane)&1 == 1 {
+				maskT |= bit
+			} else {
+				maskF |= bit
+			}
+		}
+		switch {
+		case maskF == 0:
+			ls.transfer(w, fr, e, in.ThenIdx, mask)
+		case maskT == 0:
+			ls.transfer(w, fr, e, in.ElseIdx, mask)
+		default:
+			// Diverge: current entry becomes the reconvergence
+			// continuation; push else then taken.
+			rpc := ls.ipdoms[fr.fn][e.block]
+			cont := rpc
+			if cont < 0 { // VirtualExit or unreachable: entry drains via rets
+				cont = deadBlock
+			}
+			reconv := rpc
+			if reconv < 0 {
+				reconv = reconvNever
+			}
+			e.block, e.idx = cont, 0
+			fr.stack = append(fr.stack,
+				simtEntry{block: in.ElseIdx, idx: 0, reconv: reconv, mask: maskF},
+				simtEntry{block: in.ThenIdx, idx: 0, reconv: reconv, mask: maskT},
+			)
+		}
+	case in.Op == ir.OpRet:
+		if err := ls.execRet(w, fr, in, mask); err != nil {
+			return err
+		}
+	default:
+		return ls.fault(w, in.Loc, "unimplemented opcode %s", in.Op)
+	}
+
+	ls.settle(w)
+	w.readyAt = now + cost
+	return nil
+}
+
+func (ls *launchState) evalSReg(w *warpState, fr *frame, in *ir.Instr, mask uint32) {
+	b := ls.p.Block
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		tid := w.view.WarpInCTA*WarpSize + lane
+		var v int32
+		switch in.SReg {
+		case ir.SRegTidX:
+			v = int32(tid % b[0])
+		case ir.SRegTidY:
+			v = int32((tid / b[0]) % b[1])
+		case ir.SRegTidZ:
+			v = int32(tid / (b[0] * b[1]))
+		case ir.SRegCtaidX:
+			v = int32(w.view.CTACoord[0])
+		case ir.SRegCtaidY:
+			v = int32(w.view.CTACoord[1])
+		case ir.SRegCtaidZ:
+			v = int32(w.view.CTACoord[2])
+		case ir.SRegNtidX:
+			v = int32(b[0])
+		case ir.SRegNtidY:
+			v = int32(b[1])
+		case ir.SRegNtidZ:
+			v = int32(b[2])
+		case ir.SRegNctaidX:
+			v = int32(ls.p.Grid[0])
+		case ir.SRegNctaidY:
+			v = int32(ls.p.Grid[1])
+		case ir.SRegNctaidZ:
+			v = int32(ls.p.Grid[2])
+		}
+		fr.setReg(in.DstReg, lane, ir.I32Bits(v))
+	}
+}
+
+// usesL1 reports whether this warp's global reads go through L1 under the
+// launch's horizontal-bypassing policy.
+func (ls *launchState) usesL1(w *warpState) bool {
+	k := ls.p.L1WarpsPerCTA
+	return k < 0 || w.view.WarpInCTA < k
+}
+
+func (ls *launchState) execLoad(w *warpState, fr *frame, in *ir.Instr, mask uint32, now int64) (int64, error) {
+	var addrs [WarpSize]uint64
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) != 0 {
+			addrs[lane] = fr.operand(&in.Args[0], lane)
+		}
+	}
+	// Functional load.
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		var v uint64
+		var err error
+		if in.Space == ir.Shared {
+			v, err = w.cta.shared.load(in.Mem, addrs[lane])
+		} else {
+			v, err = ls.dev.Mem.load(in.Mem, addrs[lane])
+		}
+		if err != nil {
+			return 0, ls.fault(w, in.Loc, "load lane %d: %v", lane, err)
+		}
+		fr.setReg(in.DstReg, lane, v)
+	}
+	// Timing.
+	if in.Space == ir.Shared {
+		return int64(ls.cfg.SharedLat), nil
+	}
+	ls.res.MemInstrs++
+	ls.lineBuf = coalesceLines(ls.lineBuf, mask, &addrs, in.Mem.Size(), ls.cfg.L1LineSize)
+	useL1 := ls.usesL1(w) && !in.NonCached
+	maxDone := now
+	for i, line := range ls.lineBuf {
+		issue := now + int64(i) // LSU serializes transactions
+		var done int64
+		if useL1 {
+			start := issue
+			if ls.portFree > start {
+				start = ls.portFree
+			}
+			if ls.l1.read(line) {
+				ls.portFree = start + int64(ls.cfg.L1PortOcc)
+				done = start + int64(ls.cfg.L1HitLat)
+			} else {
+				ls.portFree = start + int64(ls.cfg.L1PortOcc+ls.cfg.L1FillOcc)
+				done = ls.mshrs.alloc(start, int64(ls.cfg.MissLat))
+			}
+		} else {
+			ls.l1.bypass()
+			done = ls.mshrs.alloc(issue, int64(ls.cfg.BypassLat))
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	return maxDone - now, nil
+}
+
+func (ls *launchState) execStore(w *warpState, fr *frame, in *ir.Instr, mask uint32, now int64) (int64, error) {
+	var addrs [WarpSize]uint64
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) != 0 {
+			addrs[lane] = fr.operand(&in.Args[0], lane)
+		}
+	}
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		v := fr.operand(&in.Args[1], lane)
+		var err error
+		if in.Space == ir.Shared {
+			err = w.cta.shared.store(in.Mem, addrs[lane], v)
+		} else {
+			err = ls.dev.Mem.store(in.Mem, addrs[lane], v)
+		}
+		if err != nil {
+			return 0, ls.fault(w, in.Loc, "store lane %d: %v", lane, err)
+		}
+	}
+	if in.Space == ir.Shared {
+		return int64(ls.cfg.SharedLat) / 2, nil
+	}
+	ls.res.MemInstrs++
+	// Write-through, write-evict; stores do not stall the warp.
+	ls.lineBuf = coalesceLines(ls.lineBuf, mask, &addrs, in.Mem.Size(), ls.cfg.L1LineSize)
+	for _, line := range ls.lineBuf {
+		ls.l1.write(line)
+	}
+	return int64(len(ls.lineBuf)), nil
+}
+
+func (ls *launchState) execAtomic(w *warpState, fr *frame, in *ir.Instr, mask uint32) (int64, error) {
+	n := 0
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		n++
+		addr := fr.operand(&in.Args[0], lane)
+		val := fr.operand(&in.Args[1], lane)
+		old, err := ls.dev.Mem.load(in.Mem, addr)
+		if err != nil {
+			return 0, ls.fault(w, in.Loc, "atomic lane %d: %v", lane, err)
+		}
+		var sum uint64
+		if in.Mem == ir.MemF32 {
+			sum = ir.F32Bits(ir.F32FromBits(old) + ir.F32FromBits(val))
+		} else {
+			sum = ir.I32Bits(ir.I32FromBits(old) + ir.I32FromBits(val))
+		}
+		if err := ls.dev.Mem.store(in.Mem, addr, sum); err != nil {
+			return 0, ls.fault(w, in.Loc, "atomic lane %d: %v", lane, err)
+		}
+		if in.DstReg >= 0 {
+			fr.setReg(in.DstReg, lane, old)
+		}
+		ls.l1.write(ls.l1.lineOf(addr) << ls.l1.lineShift)
+	}
+	ls.res.MemInstrs++
+	return int64(n * ls.cfg.AtomLat), nil
+}
+
+// transfer handles a uniform control transfer of the top entry to target.
+func (ls *launchState) transfer(_ *warpState, _ *frame, e *simtEntry, target int, _ uint32) {
+	if target == e.reconv {
+		e.mask = 0 // drained; settle() pops it
+		return
+	}
+	e.block, e.idx = target, 0
+}
+
+// execRet retires the active lanes from the current frame.
+func (ls *launchState) execRet(w *warpState, fr *frame, in *ir.Instr, mask uint32) error {
+	if len(in.Args) > 0 {
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				fr.retVals[lane] = fr.operand(&in.Args[0], lane)
+			}
+		}
+	}
+	for i := range fr.stack {
+		fr.stack[i].mask &^= mask
+	}
+	return nil
+}
+
+// settle pops drained and reconverged SIMT entries, completes returned
+// frames, and retires finished warps.
+func (ls *launchState) settle(w *warpState) {
+	for len(w.frames) > 0 {
+		fr := w.frames[len(w.frames)-1]
+		for len(fr.stack) > 0 {
+			e := &fr.stack[len(fr.stack)-1]
+			if e.mask == 0 || (e.idx == 0 && e.block == e.reconv) {
+				fr.stack = fr.stack[:len(fr.stack)-1]
+				continue
+			}
+			break
+		}
+		if len(fr.stack) > 0 {
+			return
+		}
+		// Frame complete.
+		if len(w.frames) == 1 {
+			// Kernel frame: warp retires.
+			w.frames = w.frames[:0]
+			w.done = true
+			cta := w.cta
+			cta.liveWarps--
+			ls.releaseBarrierIfReady(cta)
+			return
+		}
+		caller := w.frames[len(w.frames)-2]
+		if fr.retDst >= 0 {
+			for lane := 0; lane < WarpSize; lane++ {
+				if fr.callMask&(1<<uint(lane)) != 0 {
+					caller.setReg(fr.retDst, lane, fr.retVals[lane])
+				}
+			}
+		}
+		w.frames = w.frames[:len(w.frames)-1]
+		// Advance past the call instruction in the caller.
+		ce := &caller.stack[len(caller.stack)-1]
+		ce.idx++
+	}
+}
+
+// releaseBarrierIfReady releases a pending CTA barrier once every live
+// warp has arrived.
+func (ls *launchState) releaseBarrierIfReady(cta *ctaState) {
+	if cta.arrived == 0 || cta.liveWarps == 0 {
+		if cta.liveWarps == 0 {
+			cta.arrived = 0
+		}
+		return
+	}
+	waiting := 0
+	for _, w := range cta.warps {
+		if w.atBarrier {
+			waiting++
+		}
+	}
+	if waiting < cta.liveWarps {
+		return
+	}
+	for _, w := range cta.warps {
+		if w.atBarrier {
+			w.atBarrier = false
+			if cta.barrierAt > w.readyAt {
+				w.readyAt = cta.barrierAt
+			}
+		}
+	}
+	cta.arrived = 0
+	cta.barrierAt = 0
+}
+
+// PopCount returns the number of set bits in a mask (helper for analyses).
+func PopCount(mask uint32) int { return bits.OnesCount32(mask) }

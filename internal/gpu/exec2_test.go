@@ -1,0 +1,299 @@
+package gpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cudaadvisor/internal/ir"
+)
+
+const atomicF32Src = `
+module af
+kernel @accum(%sum: ptr, %vals: ptr, %n: i32) {
+entry:
+  %tx = sreg tid.x
+  %bx = sreg ctaid.x
+  %bd = sreg ntid.x
+  %b  = mul i32 %bx, %bd
+  %i  = add i32 %b, %tx
+  %c  = icmp lt i32 %i, %n
+  cbr %c, body, exit
+body:
+  %a = gep %vals, %i, 4
+  %v = ld f32 global [%a]
+  %old = atomadd f32 global [%sum], %v
+  br exit
+exit:
+  ret
+}
+`
+
+func TestAtomicAddF32(t *testing.T) {
+	d := newTestDevice()
+	m := parseKernel(t, atomicF32Src)
+	const n = 128
+	sum, _ := d.Mem.Alloc(4)
+	vals, _ := d.Mem.Alloc(4 * n)
+	vs := make([]float32, n)
+	total := float32(0)
+	for i := range vs {
+		vs[i] = 1 // exact in f32: any add order gives the same sum
+		total += vs[i]
+	}
+	writeF32s(t, d, vals, vs)
+	if _, err := d.Launch(m.Func("accum"), LaunchParams{
+		Grid: [3]int{2, 1, 1}, Block: [3]int{64, 1, 1},
+		Args: []uint64{sum, vals, ir.I32Bits(n)}, L1WarpsPerCTA: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Mem.Float32Slice(sum, 1)
+	if got[0] != total {
+		t.Errorf("atomic f32 sum = %g, want %g", got[0], total)
+	}
+}
+
+const byteSrc = `
+module bytes
+kernel @flags(%in: ptr, %out: ptr, %n: i32) {
+entry:
+  %tx = sreg tid.x
+  %c  = icmp lt i32 %tx, %n
+  cbr %c, body, exit
+body:
+  %a = gep %in, %tx, 1
+  %v = ld i8 global [%a]
+  %nz = icmp ne i32 %v, 0
+  cbr %nz, set, exit
+set:
+  %o = gep %out, %tx, 1
+  st i8 global [%o], 255
+  br exit
+exit:
+  ret
+}
+`
+
+func TestByteLoadsAndStores(t *testing.T) {
+	d := newTestDevice()
+	m := parseKernel(t, byteSrc)
+	in, _ := d.Mem.Alloc(32)
+	out, _ := d.Mem.Alloc(32)
+	src := make([]byte, 32)
+	for i := range src {
+		if i%3 == 0 {
+			src[i] = byte(i + 1)
+		}
+	}
+	if err := d.Mem.WriteBytes(in, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(m.Func("flags"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{32, 1, 1},
+		Args: []uint64{in, out, ir.I32Bits(32)}, L1WarpsPerCTA: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 32)
+	if err := d.Mem.ReadBytes(out, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := byte(0)
+		if src[i] != 0 {
+			want = 255
+		}
+		if got[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+const sharedOOBSrc = `
+module soob
+kernel @bad() {
+  shared @buf: f32[8]
+entry:
+  %tx = sreg tid.x
+  %p  = shptr @buf
+  %a  = gep %p, %tx, 4
+  st f32 shared [%a], 1.0
+  ret
+}
+`
+
+func TestSharedMemoryOutOfBoundsFaults(t *testing.T) {
+	d := newTestDevice()
+	m := parseKernel(t, sharedOOBSrc)
+	_, err := d.Launch(m.Func("bad"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{32, 1, 1}, L1WarpsPerCTA: -1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "shared memory") {
+		t.Fatalf("err = %v, want shared-memory fault", err)
+	}
+}
+
+const grid2DSrc = `
+module g2d
+kernel @coords(%out: ptr, %w: i32) {
+entry:
+  %tx = sreg tid.x
+  %ty = sreg tid.y
+  %bx = sreg ctaid.x
+  %by = sreg ctaid.y
+  %bdx = sreg ntid.x
+  %bdy = sreg ntid.y
+  %gx0 = mul i32 %bx, %bdx
+  %gx  = add i32 %gx0, %tx
+  %gy0 = mul i32 %by, %bdy
+  %gy  = add i32 %gy0, %ty
+  %row = mul i32 %gy, %w
+  %i   = add i32 %row, %gx
+  %v0  = mul i32 %gy, 1000
+  %v   = add i32 %v0, %gx
+  %a   = gep %out, %i, 4
+  st i32 global [%a], %v
+  ret
+}
+`
+
+func TestGrid2DCoordinates(t *testing.T) {
+	d := newTestDevice()
+	m := parseKernel(t, grid2DSrc)
+	const w, h = 32, 16
+	out, _ := d.Mem.Alloc(4 * w * h)
+	if _, err := d.Launch(m.Func("coords"), LaunchParams{
+		Grid: [3]int{2, 2, 1}, Block: [3]int{16, 8, 1},
+		Args: []uint64{out, ir.I32Bits(w)}, L1WarpsPerCTA: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Mem.Int32Slice(out, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if got[y*w+x] != int32(y*1000+x) {
+				t.Fatalf("out[%d][%d] = %d, want %d", y, x, got[y*w+x], y*1000+x)
+			}
+		}
+	}
+}
+
+const cgSrc = `
+module cg
+kernel @mix(%p: ptr, %q: ptr, %n: i32) {
+entry:
+  %tx = sreg tid.x
+  %a  = gep %p, %tx, 4
+  %v  = ld.cg f32 global [%a]
+  %b  = gep %q, %tx, 4
+  %w  = ld f32 global [%b]
+  %s  = fadd f32 %v, %w
+  st f32 global [%b], %s
+  ret
+}
+`
+
+func TestNonCachedLoadsSkipL1(t *testing.T) {
+	d := newTestDevice()
+	m := parseKernel(t, cgSrc)
+	p, _ := d.Mem.Alloc(4 * 32)
+	q, _ := d.Mem.Alloc(4 * 32)
+	writeF32s(t, d, p, make([]float32, 32))
+	res, err := d.Launch(m.Func("mix"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{32, 1, 1},
+		Args: []uint64{p, q, ir.I32Bits(32)}, L1WarpsPerCTA: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One warp: the ld.cg contributes only bypassed transactions, the
+	// plain ld only L1 accesses.
+	if res.Cache.Bypassed != 1 {
+		t.Errorf("bypassed = %d, want 1 (the ld.cg line)", res.Cache.Bypassed)
+	}
+	if res.Cache.Accesses != 1 {
+		t.Errorf("L1 accesses = %d, want 1 (the plain ld line)", res.Cache.Accesses)
+	}
+}
+
+const nestedDivSrc = `
+module nd
+kernel @nested(%out: ptr) {
+entry:
+  %tx  = sreg tid.x
+  %q   = and i32 %tx, 3
+  %c0  = icmp lt i32 %q, 2
+  cbr %c0, low, high
+low:
+  %c1 = icmp eq i32 %q, 0
+  cbr %c1, q0, q1
+q0:
+  %v = mov i32 100
+  br join
+q1:
+  %v = mov i32 101
+  br join
+high:
+  %c2 = icmp eq i32 %q, 2
+  cbr %c2, q2, q3
+q2:
+  %v = mov i32 102
+  br join
+q3:
+  %v = mov i32 103
+  br join
+join:
+  %a = gep %out, %tx, 4
+  st i32 global [%a], %v
+  ret
+}
+`
+
+func TestNestedDivergenceReconverges(t *testing.T) {
+	d := newTestDevice()
+	m := parseKernel(t, nestedDivSrc)
+	out, _ := d.Mem.Alloc(4 * 32)
+	if _, err := d.Launch(m.Func("nested"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{32, 1, 1},
+		Args: []uint64{out}, L1WarpsPerCTA: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Mem.Int32Slice(out, 32)
+	for i, v := range got {
+		if v != int32(100+i%4) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 100+i%4)
+		}
+	}
+}
+
+func TestFloatSpecialOps(t *testing.T) {
+	src := `
+module fs
+kernel @fops(%out: ptr, %x: f32) {
+entry:
+  %s = fsqrt f32 %x
+  %e = fexp f32 %s
+  %l = flog f32 %e
+  %n = fneg f32 %l
+  %a = fabs f32 %n
+  st f32 global [%out], %a
+  ret
+}
+`
+	d := newTestDevice()
+	m := parseKernel(t, src)
+	out, _ := d.Mem.Alloc(4)
+	if _, err := d.Launch(m.Func("fops"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{1, 1, 1},
+		Args: []uint64{out, ir.F32Bits(9)}, L1WarpsPerCTA: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Mem.Float32Slice(out, 1)
+	// |-(log(exp(sqrt(9))))| = 3
+	if math.Abs(float64(got[0])-3) > 1e-5 {
+		t.Errorf("fops chain = %g, want 3", got[0])
+	}
+}

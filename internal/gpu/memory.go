@@ -1,0 +1,160 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cudaadvisor/internal/ir"
+)
+
+// DeviceMemory is the simulated GPU global memory: a flat byte array with
+// a bump allocator, the target of cudaMalloc in the host runtime.
+// Address 0 is reserved so that null pointers fault.
+type DeviceMemory struct {
+	buf  []byte
+	next uint64
+}
+
+// NewDeviceMemory returns a device memory of the given capacity in bytes.
+func NewDeviceMemory(capacity int64) *DeviceMemory {
+	return &DeviceMemory{buf: make([]byte, capacity), next: 256}
+}
+
+// Size returns the capacity in bytes.
+func (d *DeviceMemory) Size() int64 { return int64(len(d.buf)) }
+
+// Alloc reserves n bytes of global memory, 256-byte aligned (matching
+// cudaMalloc's alignment guarantee), and returns the device address.
+func (d *DeviceMemory) Alloc(n int64) (uint64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("gpu: negative allocation %d", n)
+	}
+	addr := (d.next + 255) &^ 255
+	if addr+uint64(n) > uint64(len(d.buf)) {
+		return 0, fmt.Errorf("gpu: out of device memory (%d requested, %d free)",
+			n, uint64(len(d.buf))-addr)
+	}
+	d.next = addr + uint64(n)
+	return addr, nil
+}
+
+// Reset releases all allocations (the next launch sees a clean device).
+func (d *DeviceMemory) Reset() {
+	d.next = 256
+	clear(d.buf)
+}
+
+func (d *DeviceMemory) check(addr uint64, n int) error {
+	if addr < 256 || addr+uint64(n) > uint64(len(d.buf)) {
+		return fmt.Errorf("gpu: global memory access [%#x, %#x) out of range", addr, addr+uint64(n))
+	}
+	return nil
+}
+
+// WriteBytes copies host bytes into device memory (cudaMemcpy H2D).
+func (d *DeviceMemory) WriteBytes(addr uint64, p []byte) error {
+	if err := d.check(addr, len(p)); err != nil {
+		return err
+	}
+	copy(d.buf[addr:], p)
+	return nil
+}
+
+// ReadBytes copies device memory to host bytes (cudaMemcpy D2H).
+func (d *DeviceMemory) ReadBytes(addr uint64, p []byte) error {
+	if err := d.check(addr, len(p)); err != nil {
+		return err
+	}
+	copy(p, d.buf[addr:int(addr)+len(p)])
+	return nil
+}
+
+// load reads a value of the given element type, widening to register bits.
+func (d *DeviceMemory) load(mt ir.MemType, addr uint64) (uint64, error) {
+	if err := d.check(addr, mt.Size()); err != nil {
+		return 0, err
+	}
+	return loadFrom(d.buf, mt, addr), nil
+}
+
+// store writes a register value at the given element width.
+func (d *DeviceMemory) store(mt ir.MemType, addr uint64, bits uint64) error {
+	if err := d.check(addr, mt.Size()); err != nil {
+		return err
+	}
+	storeTo(d.buf, mt, addr, bits)
+	return nil
+}
+
+func loadFrom(buf []byte, mt ir.MemType, addr uint64) uint64 {
+	switch mt {
+	case ir.MemI8:
+		return uint64(buf[addr]) // zero-extends
+	case ir.MemI32, ir.MemF32:
+		return uint64(binary.LittleEndian.Uint32(buf[addr:]))
+	case ir.MemI64:
+		return binary.LittleEndian.Uint64(buf[addr:])
+	}
+	return 0
+}
+
+func storeTo(buf []byte, mt ir.MemType, addr uint64, bits uint64) {
+	switch mt {
+	case ir.MemI8:
+		buf[addr] = byte(bits)
+	case ir.MemI32, ir.MemF32:
+		binary.LittleEndian.PutUint32(buf[addr:], uint32(bits))
+	case ir.MemI64:
+		binary.LittleEndian.PutUint64(buf[addr:], bits)
+	}
+}
+
+// Float32Slice reads n float32 values starting at addr (host-side helper
+// for drivers and tests).
+func (d *DeviceMemory) Float32Slice(addr uint64, n int) ([]float32, error) {
+	if err := d.check(addr, 4*n); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.buf[addr+uint64(4*i):]))
+	}
+	return out, nil
+}
+
+// Int32Slice reads n int32 values starting at addr.
+func (d *DeviceMemory) Int32Slice(addr uint64, n int) ([]int32, error) {
+	if err := d.check(addr, 4*n); err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.buf[addr+uint64(4*i):]))
+	}
+	return out, nil
+}
+
+// sharedMem is one CTA's scratchpad.
+type sharedMem struct {
+	buf []byte
+}
+
+func newSharedMem(n int64) *sharedMem { return &sharedMem{buf: make([]byte, n)} }
+
+func (s *sharedMem) load(mt ir.MemType, addr uint64) (uint64, error) {
+	if addr+uint64(mt.Size()) > uint64(len(s.buf)) {
+		return 0, fmt.Errorf("gpu: shared memory access [%#x, %#x) out of range (size %d)",
+			addr, addr+uint64(mt.Size()), len(s.buf))
+	}
+	return loadFrom(s.buf, mt, addr), nil
+}
+
+func (s *sharedMem) store(mt ir.MemType, addr uint64, bits uint64) error {
+	if addr+uint64(mt.Size()) > uint64(len(s.buf)) {
+		return fmt.Errorf("gpu: shared memory access [%#x, %#x) out of range (size %d)",
+			addr, addr+uint64(mt.Size()), len(s.buf))
+	}
+	storeTo(s.buf, mt, addr, bits)
+	return nil
+}

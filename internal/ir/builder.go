@@ -1,0 +1,205 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Function programmatically, instruction by
+// instruction, the analog of LLVM's IRBuilder. Positions default to the
+// end of the current block; the instrumentation engine instead splices
+// instructions directly into existing blocks.
+type Builder struct {
+	F   *Function
+	cur *Block
+	loc Loc
+	n   int // counter for generated register names
+}
+
+// NewKernel starts building a kernel (void result).
+func NewKernel(name string, params ...Param) *Builder {
+	return &Builder{F: &Function{Name: name, IsKernel: true, Params: params, Result: Void}}
+}
+
+// NewDeviceFunc starts building a device function.
+func NewDeviceFunc(name string, result Type, params ...Param) *Builder {
+	return &Builder{F: &Function{Name: name, Params: params, Result: result}}
+}
+
+// P is shorthand for a Param.
+func P(name string, t Type) Param { return Param{Name: name, Type: t} }
+
+// Shared declares a shared-memory array.
+func (b *Builder) Shared(name string, elem MemType, count int) *Builder {
+	b.F.Shared = append(b.F.Shared, SharedDecl{Name: name, Elem: elem, Count: count})
+	return b
+}
+
+// At sets the source location attached to subsequently emitted
+// instructions.
+func (b *Builder) At(line, col int) *Builder {
+	b.loc = Loc{File: b.F.Name + ".cu", Line: line, Col: col}
+	return b
+}
+
+// AtLoc sets an explicit location.
+func (b *Builder) AtLoc(l Loc) *Builder {
+	b.loc = l
+	return b
+}
+
+// Blk starts (or switches to) the named basic block.
+func (b *Builder) Blk(name string) *Builder {
+	for _, blk := range b.F.Blocks {
+		if blk.Name == name {
+			b.cur = blk
+			return b
+		}
+	}
+	blk := &Block{Name: name}
+	b.F.Blocks = append(b.F.Blocks, blk)
+	b.cur = blk
+	return b
+}
+
+func (b *Builder) emit(in *Instr) *Builder {
+	if b.cur == nil {
+		b.Blk("entry")
+	}
+	if in.Loc.IsZero() {
+		in.Loc = b.loc
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	b.n++
+	if b.loc.Line > 0 {
+		b.loc.Col++ // distinguish same-line emissions in debug info
+	}
+	return b
+}
+
+// R returns a register operand (shorthand for RegOp).
+func R(name string) Operand { return RegOp(name) }
+
+// Bin emits dst = op type a, b.
+func (b *Builder) Bin(dst string, op Op, t Type, a, c Operand) *Builder {
+	return b.emit(&Instr{Op: op, Type: t, Dst: dst, Args: []Operand{a, c}})
+}
+
+// Add emits an I32 add.
+func (b *Builder) Add(dst string, a, c Operand) *Builder { return b.Bin(dst, OpAdd, I32, a, c) }
+
+// Mul emits an I32 multiply.
+func (b *Builder) Mul(dst string, a, c Operand) *Builder { return b.Bin(dst, OpMul, I32, a, c) }
+
+// FBin emits an F32 binary op.
+func (b *Builder) FBin(dst string, op Op, a, c Operand) *Builder { return b.Bin(dst, op, F32, a, c) }
+
+// FUn emits an F32 unary op.
+func (b *Builder) FUn(dst string, op Op, a Operand) *Builder {
+	return b.emit(&Instr{Op: op, Type: F32, Dst: dst, Args: []Operand{a}})
+}
+
+// ICmp emits an integer comparison.
+func (b *Builder) ICmp(dst string, p CmpPred, t Type, a, c Operand) *Builder {
+	return b.emit(&Instr{Op: OpICmp, Pred: p, Type: t, Dst: dst, Args: []Operand{a, c}})
+}
+
+// FCmp emits a float comparison.
+func (b *Builder) FCmp(dst string, p CmpPred, a, c Operand) *Builder {
+	return b.emit(&Instr{Op: OpFCmp, Pred: p, Type: F32, Dst: dst, Args: []Operand{a, c}})
+}
+
+// Select emits dst = pred ? x : y.
+func (b *Builder) Select(dst string, t Type, pred, x, y Operand) *Builder {
+	return b.emit(&Instr{Op: OpSelect, Type: t, Dst: dst, Args: []Operand{pred, x, y}})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst string, t Type, src Operand) *Builder {
+	return b.emit(&Instr{Op: OpMov, Type: t, Dst: dst, Args: []Operand{src}})
+}
+
+// Cvt emits a conversion (OpSitofp/OpFptosi/OpSext/OpTrunc/OpZext).
+func (b *Builder) Cvt(dst string, op Op, src Operand) *Builder {
+	return b.emit(&Instr{Op: op, Dst: dst, Args: []Operand{src}})
+}
+
+// GEP emits dst = base + sext(idx)*scale.
+func (b *Builder) GEP(dst string, base, idx Operand, scale int64) *Builder {
+	return b.emit(&Instr{Op: OpGEP, Dst: dst, Args: []Operand{base, idx}, Scale: scale})
+}
+
+// Ld emits a load.
+func (b *Builder) Ld(dst string, mt MemType, sp Space, addr Operand) *Builder {
+	return b.emit(&Instr{Op: OpLd, Mem: mt, Space: sp, Dst: dst, Args: []Operand{addr}})
+}
+
+// St emits a store.
+func (b *Builder) St(mt MemType, sp Space, addr, val Operand) *Builder {
+	return b.emit(&Instr{Op: OpSt, Mem: mt, Space: sp, Args: []Operand{addr, val}})
+}
+
+// AtomAdd emits dst = atomic add [addr], val.
+func (b *Builder) AtomAdd(dst string, mt MemType, addr, val Operand) *Builder {
+	return b.emit(&Instr{Op: OpAtom, Mem: mt, Space: Global, Dst: dst, Args: []Operand{addr, val}})
+}
+
+// SReg emits dst = special register.
+func (b *Builder) SReg(dst string, k SRegKind) *Builder {
+	return b.emit(&Instr{Op: OpSReg, SReg: k, Dst: dst})
+}
+
+// ShPtr emits dst = base offset of the named shared array.
+func (b *Builder) ShPtr(dst, array string) *Builder {
+	return b.emit(&Instr{Op: OpShPtr, Dst: dst, Callee: array})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(target string) *Builder {
+	return b.emit(&Instr{Op: OpBr, Then: target})
+}
+
+// CBr emits a conditional branch.
+func (b *Builder) CBr(cond Operand, then, els string) *Builder {
+	return b.emit(&Instr{Op: OpCBr, Args: []Operand{cond}, Then: then, Else: els})
+}
+
+// Ret emits a void return.
+func (b *Builder) Ret() *Builder { return b.emit(&Instr{Op: OpRet}) }
+
+// RetVal emits a value return.
+func (b *Builder) RetVal(v Operand) *Builder {
+	return b.emit(&Instr{Op: OpRet, Args: []Operand{v}})
+}
+
+// Call emits a device-function call (dst may be "" for void callees).
+func (b *Builder) Call(dst, callee string, args ...Operand) *Builder {
+	return b.emit(&Instr{Op: OpCall, Dst: dst, Callee: callee, Args: args})
+}
+
+// Bar emits a CTA barrier.
+func (b *Builder) Bar() *Builder { return b.emit(&Instr{Op: OpBar}) }
+
+// Done returns the built function. The caller is responsible for adding it
+// to a Module and calling Module.Finalize.
+func (b *Builder) Done() *Function { return b.F }
+
+// BuildModule assembles functions into a finalized module, or returns an
+// error from finalization.
+func BuildModule(name string, fns ...*Function) (*Module, error) {
+	m := NewModule(name)
+	for _, f := range fns {
+		m.AddFunc(f)
+	}
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustBuildModule is BuildModule that panics on error; for tests and
+// statically known-good kernels.
+func MustBuildModule(name string, fns ...*Function) *Module {
+	m, err := BuildModule(name, fns...)
+	if err != nil {
+		panic(fmt.Sprintf("ir: building module %s: %v", name, err))
+	}
+	return m
+}

@@ -1,0 +1,37 @@
+package ir
+
+// Clone deep-copies a module. The instrumentation engine rewrites modules
+// in place (as an LLVM pass would); Clone lets callers keep a pristine
+// native build and an instrumented build of the same parse, the
+// fat-binary-vs-source split of the paper's Figure 2.
+func Clone(m *Module) *Module {
+	out := NewModule(m.Name)
+	for _, f := range m.Funcs {
+		out.AddFunc(cloneFunc(f))
+	}
+	return out
+}
+
+func cloneFunc(f *Function) *Function {
+	nf := &Function{
+		Name:     f.Name,
+		IsKernel: f.IsKernel,
+		Result:   f.Result,
+		Params:   append([]Param(nil), f.Params...),
+		Shared:   append([]SharedDecl(nil), f.Shared...),
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name}
+		for _, in := range b.Instrs {
+			ci := *in
+			ci.Args = append([]Operand(nil), in.Args...)
+			// Resolution state is rebuilt by Finalize on the clone.
+			ci.DstReg = -1
+			ci.ThenIdx, ci.ElseIdx = -1, -1
+			ci.CalleeFn = nil
+			nb.Instrs = append(nb.Instrs, &ci)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}

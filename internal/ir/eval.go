@@ -1,0 +1,256 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scalar evaluation semantics for the IR, shared by the constant folder
+// (package pass) and the SIMT interpreter (package gpu) so that folding
+// can never change program behaviour.
+//
+// Register values are carried as raw uint64 bit patterns:
+//
+//	I1        0 or 1
+//	I32       zero-extended 32-bit pattern (interpret via int32)
+//	I64, Ptr  full 64 bits
+//	F32       math.Float32bits in the low 32 bits
+
+// ConstBits returns the bit pattern of a constant operand.
+func ConstBits(o Operand) uint64 {
+	switch o.Kind {
+	case KConstInt:
+		switch o.Type {
+		case I1:
+			if o.Int != 0 {
+				return 1
+			}
+			return 0
+		case I32:
+			return uint64(uint32(int32(o.Int)))
+		default: // I64, Ptr, untyped
+			return uint64(o.Int)
+		}
+	case KConstFloat:
+		return uint64(math.Float32bits(float32(o.F)))
+	}
+	return 0
+}
+
+// F32FromBits decodes an F32 register value.
+func F32FromBits(b uint64) float32 { return math.Float32frombits(uint32(b)) }
+
+// F32Bits encodes an F32 register value.
+func F32Bits(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// I32FromBits decodes an I32 register value.
+func I32FromBits(b uint64) int32 { return int32(uint32(b)) }
+
+// I32Bits encodes an I32 register value.
+func I32Bits(v int32) uint64 { return uint64(uint32(v)) }
+
+// EvalIntBin evaluates an integer binary op on values of type t
+// (I32 or I64). Division or remainder by zero is an error (it would trap
+// on real hardware; we surface it as a simulation fault).
+func EvalIntBin(op Op, t Type, a, b uint64) (uint64, error) {
+	if t == I32 {
+		x, y := int32(uint32(a)), int32(uint32(b))
+		var r int32
+		switch op {
+		case OpAdd:
+			r = x + y
+		case OpSub:
+			r = x - y
+		case OpMul:
+			r = x * y
+		case OpSDiv:
+			if y == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			r = x / y
+		case OpSRem:
+			if y == 0 {
+				return 0, fmt.Errorf("remainder by zero")
+			}
+			r = x % y
+		case OpAnd:
+			r = x & y
+		case OpOr:
+			r = x | y
+		case OpXor:
+			r = x ^ y
+		case OpShl:
+			r = x << (uint32(y) & 31)
+		case OpLShr:
+			r = int32(uint32(x) >> (uint32(y) & 31))
+		case OpAShr:
+			r = x >> (uint32(y) & 31)
+		case OpSMin:
+			r = min(x, y)
+		case OpSMax:
+			r = max(x, y)
+		default:
+			return 0, fmt.Errorf("not an integer op: %s", op)
+		}
+		return I32Bits(r), nil
+	}
+	x, y := int64(a), int64(b)
+	var r int64
+	switch op {
+	case OpAdd:
+		r = x + y
+	case OpSub:
+		r = x - y
+	case OpMul:
+		r = x * y
+	case OpSDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		r = x / y
+	case OpSRem:
+		if y == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		r = x % y
+	case OpAnd:
+		r = x & y
+	case OpOr:
+		r = x | y
+	case OpXor:
+		r = x ^ y
+	case OpShl:
+		r = x << (uint64(y) & 63)
+	case OpLShr:
+		r = int64(uint64(x) >> (uint64(y) & 63))
+	case OpAShr:
+		r = x >> (uint64(y) & 63)
+	case OpSMin:
+		r = min(x, y)
+	case OpSMax:
+		r = max(x, y)
+	default:
+		return 0, fmt.Errorf("not an integer op: %s", op)
+	}
+	return uint64(r), nil
+}
+
+// EvalFloatBin evaluates an F32 binary op.
+func EvalFloatBin(op Op, a, b uint64) (uint64, error) {
+	x, y := F32FromBits(a), F32FromBits(b)
+	var r float32
+	switch op {
+	case OpFAdd:
+		r = x + y
+	case OpFSub:
+		r = x - y
+	case OpFMul:
+		r = x * y
+	case OpFDiv:
+		r = x / y // IEEE: inf/NaN, no trap
+	case OpFMin:
+		r = float32(math.Min(float64(x), float64(y)))
+	case OpFMax:
+		r = float32(math.Max(float64(x), float64(y)))
+	default:
+		return 0, fmt.Errorf("not a float binary op: %s", op)
+	}
+	return F32Bits(r), nil
+}
+
+// EvalFloatUn evaluates an F32 unary op.
+func EvalFloatUn(op Op, a uint64) (uint64, error) {
+	x := float64(F32FromBits(a))
+	var r float64
+	switch op {
+	case OpFNeg:
+		r = -x
+	case OpFAbs:
+		r = math.Abs(x)
+	case OpFSqrt:
+		r = math.Sqrt(x)
+	case OpFExp:
+		r = math.Exp(x)
+	case OpFLog:
+		r = math.Log(x)
+	default:
+		return 0, fmt.Errorf("not a float unary op: %s", op)
+	}
+	return F32Bits(float32(r)), nil
+}
+
+// EvalICmp evaluates a signed integer (or pointer) comparison.
+func EvalICmp(pred CmpPred, t Type, a, b uint64) (uint64, error) {
+	var x, y int64
+	if t == I32 {
+		x, y = int64(int32(uint32(a))), int64(int32(uint32(b)))
+	} else if t == Ptr {
+		// Pointers compare unsigned; map through the sign bit flip.
+		x, y = int64(a^(1<<63)), int64(b^(1<<63))
+	} else {
+		x, y = int64(a), int64(b)
+	}
+	return evalPred(pred, x < y, x == y)
+}
+
+// EvalFCmp evaluates an ordered F32 comparison (false on NaN).
+func EvalFCmp(pred CmpPred, a, b uint64) (uint64, error) {
+	x, y := F32FromBits(a), F32FromBits(b)
+	if x != x || y != y { // NaN: ordered predicates are false, ne is true
+		if pred == PredNE {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return evalPred(pred, x < y, x == y)
+}
+
+func evalPred(pred CmpPred, lt, eq bool) (uint64, error) {
+	var r bool
+	switch pred {
+	case PredEQ:
+		r = eq
+	case PredNE:
+		r = !eq
+	case PredLT:
+		r = lt
+	case PredLE:
+		r = lt || eq
+	case PredGT:
+		r = !lt && !eq
+	case PredGE:
+		r = !lt
+	default:
+		return 0, fmt.Errorf("bad predicate")
+	}
+	if r {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// EvalCvt evaluates a conversion op.
+func EvalCvt(op Op, a uint64) (uint64, error) {
+	switch op {
+	case OpSitofp:
+		return F32Bits(float32(int32(uint32(a)))), nil
+	case OpFptosi:
+		f := F32FromBits(a)
+		switch {
+		case f != f: // NaN
+			return 0, nil
+		case f >= math.MaxInt32:
+			return I32Bits(math.MaxInt32), nil
+		case f <= math.MinInt32:
+			return I32Bits(math.MinInt32), nil
+		}
+		return I32Bits(int32(f)), nil
+	case OpSext:
+		return uint64(int64(int32(uint32(a)))), nil
+	case OpTrunc:
+		return uint64(uint32(a)), nil
+	case OpZext:
+		return a & 1, nil
+	}
+	return 0, fmt.Errorf("not a conversion: %s", op)
+}

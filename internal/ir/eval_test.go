@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalIntBinI32Wraps(t *testing.T) {
+	a := I32Bits(math.MaxInt32)
+	b := I32Bits(1)
+	got, err := EvalIntBin(OpAdd, I32, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if I32FromBits(got) != math.MinInt32 {
+		t.Errorf("MaxInt32+1 = %d, want wraparound to MinInt32", I32FromBits(got))
+	}
+}
+
+func TestEvalIntBinDivByZero(t *testing.T) {
+	if _, err := EvalIntBin(OpSDiv, I32, 10, 0); err == nil {
+		t.Error("i32 division by zero did not error")
+	}
+	if _, err := EvalIntBin(OpSRem, I64, 10, 0); err == nil {
+		t.Error("i64 remainder by zero did not error")
+	}
+}
+
+// Property: add/sub round-trips at both widths.
+func TestEvalIntAddSubRoundTrip(t *testing.T) {
+	f := func(a, b int32) bool {
+		s, err := EvalIntBin(OpAdd, I32, I32Bits(a), I32Bits(b))
+		if err != nil {
+			return false
+		}
+		r, err := EvalIntBin(OpSub, I32, s, I32Bits(b))
+		if err != nil {
+			return false
+		}
+		return I32FromBits(r) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int64) bool {
+		s, _ := EvalIntBin(OpAdd, I64, uint64(a), uint64(b))
+		r, _ := EvalIntBin(OpSub, I64, s, uint64(b))
+		return int64(r) == a
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: icmp predicates form a consistent total order on i32.
+func TestEvalICmpConsistency(t *testing.T) {
+	f := func(a, b int32) bool {
+		bitsA, bitsB := I32Bits(a), I32Bits(b)
+		lt, _ := EvalICmp(PredLT, I32, bitsA, bitsB)
+		gt, _ := EvalICmp(PredGT, I32, bitsB, bitsA) // swapped
+		if lt != gt {
+			return false
+		}
+		eq, _ := EvalICmp(PredEQ, I32, bitsA, bitsB)
+		ne, _ := EvalICmp(PredNE, I32, bitsA, bitsB)
+		if eq == ne {
+			return false
+		}
+		le, _ := EvalICmp(PredLE, I32, bitsA, bitsB)
+		return le == (lt | eq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalICmpPointerUnsigned(t *testing.T) {
+	// A "negative" pointer (high bit set) compares greater than a small one.
+	big := uint64(0xFFFF_FFFF_FFFF_0000)
+	small := uint64(16)
+	r, err := EvalICmp(PredGT, Ptr, big, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Error("pointer comparison is not unsigned")
+	}
+}
+
+func TestEvalFCmpNaN(t *testing.T) {
+	nan := F32Bits(float32(math.NaN()))
+	one := F32Bits(1)
+	for _, pred := range []CmpPred{PredEQ, PredLT, PredLE, PredGT, PredGE} {
+		r, err := EvalFCmp(pred, nan, one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 0 {
+			t.Errorf("ordered predicate %s true on NaN", pred)
+		}
+	}
+	r, _ := EvalFCmp(PredNE, nan, one)
+	if r != 1 {
+		t.Error("ne false on NaN (should be true: unordered)")
+	}
+}
+
+func TestEvalCvtSaturation(t *testing.T) {
+	big := F32Bits(1e20)
+	r, err := EvalCvt(OpFptosi, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if I32FromBits(r) != math.MaxInt32 {
+		t.Errorf("fptosi(1e20) = %d, want MaxInt32 saturation", I32FromBits(r))
+	}
+	small := F32Bits(-1e20)
+	r, _ = EvalCvt(OpFptosi, small)
+	if I32FromBits(r) != math.MinInt32 {
+		t.Errorf("fptosi(-1e20) = %d, want MinInt32", I32FromBits(r))
+	}
+	nan := F32Bits(float32(math.NaN()))
+	r, _ = EvalCvt(OpFptosi, nan)
+	if I32FromBits(r) != 0 {
+		t.Errorf("fptosi(NaN) = %d, want 0", I32FromBits(r))
+	}
+}
+
+func TestEvalCvtSextTrunc(t *testing.T) {
+	f := func(v int32) bool {
+		wide, _ := EvalCvt(OpSext, I32Bits(v))
+		if int64(wide) != int64(v) {
+			return false
+		}
+		narrow, _ := EvalCvt(OpTrunc, wide)
+		return I32FromBits(narrow) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalShifts(t *testing.T) {
+	// Shift amounts mask to the width, as on hardware.
+	r, _ := EvalIntBin(OpShl, I32, I32Bits(1), I32Bits(33))
+	if I32FromBits(r) != 2 {
+		t.Errorf("1 << 33 (mod 32) = %d, want 2", I32FromBits(r))
+	}
+	r, _ = EvalIntBin(OpLShr, I32, I32Bits(-1), I32Bits(28))
+	if I32FromBits(r) != 15 {
+		t.Errorf("lshr(-1, 28) = %d, want 15", I32FromBits(r))
+	}
+	r, _ = EvalIntBin(OpAShr, I32, I32Bits(-16), I32Bits(2))
+	if I32FromBits(r) != -4 {
+		t.Errorf("ashr(-16, 2) = %d, want -4", I32FromBits(r))
+	}
+}
+
+func TestEvalMinMax(t *testing.T) {
+	f := func(a, b int32) bool {
+		mn, _ := EvalIntBin(OpSMin, I32, I32Bits(a), I32Bits(b))
+		mx, _ := EvalIntBin(OpSMax, I32, I32Bits(a), I32Bits(b))
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return I32FromBits(mn) == lo && I32FromBits(mx) == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstBitsTypes(t *testing.T) {
+	if ConstBits(IntOp(1, I1)) != 1 || ConstBits(IntOp(0, I1)) != 0 || ConstBits(IntOp(7, I1)) != 1 {
+		t.Error("I1 const bits wrong")
+	}
+	if I32FromBits(ConstBits(I32Op(-5))) != -5 {
+		t.Error("I32 const bits wrong")
+	}
+	if F32FromBits(ConstBits(FloatOp(2.5))) != 2.5 {
+		t.Error("F32 const bits wrong")
+	}
+}

@@ -1,0 +1,182 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KReg        OperandKind = iota // virtual register reference
+	KConstInt                      // integer immediate (I1/I32/I64/Ptr)
+	KConstFloat                    // float immediate (F32)
+)
+
+// Operand is an instruction operand: a register reference or an immediate.
+type Operand struct {
+	Kind OperandKind
+	Name string  // register name, without '%' (KReg)
+	Reg  int     // register index; resolved by Function.Finalize
+	Int  int64   // immediate value (KConstInt)
+	F    float64 // immediate value (KConstFloat)
+	Type Type    // static type; for KReg filled in by Finalize
+}
+
+// RegOp returns a register operand by name.
+func RegOp(name string) Operand { return Operand{Kind: KReg, Name: name, Reg: -1} }
+
+// IntOp returns an integer immediate of the given type.
+func IntOp(v int64, t Type) Operand { return Operand{Kind: KConstInt, Int: v, Type: t} }
+
+// I32Op returns an I32 immediate.
+func I32Op(v int64) Operand { return IntOp(v, I32) }
+
+// FloatOp returns an F32 immediate.
+func FloatOp(v float64) Operand { return Operand{Kind: KConstFloat, F: v, Type: F32} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case KReg:
+		return "%" + o.Name
+	case KConstInt:
+		return strconv.FormatInt(o.Int, 10)
+	case KConstFloat:
+		s := strconv.FormatFloat(o.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+			s += ".0"
+		}
+		return s
+	}
+	return "?"
+}
+
+// Instr is a single IR instruction. One struct covers all opcodes; which
+// fields are meaningful depends on Op (see the opcode documentation).
+type Instr struct {
+	Op   Op
+	Pred CmpPred // OpICmp/OpFCmp predicate
+
+	// Type is the operation type: operand type for arithmetic/compare,
+	// result type for conversions and select.
+	Type Type
+
+	// Mem is the element type and Space the address space for OpLd/OpSt/OpAtom.
+	Mem   MemType
+	Space Space
+
+	// NonCached marks a load that bypasses the L1 cache (PTX ld.global.cg,
+	// the mechanism behind vertical bypassing). Only meaningful on OpLd
+	// with Space Global.
+	NonCached bool
+
+	// Dst names the result register ("" if none). DstReg is the resolved
+	// index after Finalize, or -1.
+	Dst    string
+	DstReg int
+
+	// Args are the value operands. Conventions:
+	//   binary ops:  Args[0], Args[1]
+	//   unary ops:   Args[0]
+	//   select:      Args[0]=pred, Args[1]=a, Args[2]=b
+	//   gep:         Args[0]=base, Args[1]=index
+	//   ld:          Args[0]=addr
+	//   st:          Args[0]=addr, Args[1]=value
+	//   atomadd:     Args[0]=addr, Args[1]=value
+	//   cbr:         Args[0]=condition
+	//   ret:         Args[0]=value (optional)
+	//   call:        arguments in order
+	Args []Operand
+
+	Scale int64    // OpGEP element size in bytes
+	SReg  SRegKind // OpSReg selector
+
+	// Callee is the callee function name for OpCall, or the shared-array
+	// name for OpShPtr. CalleeFn is resolved by Module.Finalize for
+	// device-function calls; it stays nil for hook intrinsics (names with
+	// the HookPrefix), which the executor dispatches specially.
+	Callee   string
+	CalleeFn *Function
+
+	// Branch targets by block name; indices resolved by Finalize.
+	Then, Else       string
+	ThenIdx, ElseIdx int
+
+	Loc Loc // source location (debug info)
+}
+
+// HookPrefix marks callee names that are interpreter intrinsics inserted by
+// the instrumentation engine (the paper's Record()/passBasicBlock()/...
+// device analysis functions) rather than device functions defined in IR.
+const HookPrefix = "__advisor_"
+
+// IsHookCall reports whether the instruction calls an instrumentation hook.
+func (in *Instr) IsHookCall() bool {
+	return in.Op == OpCall && strings.HasPrefix(in.Callee, HookPrefix)
+}
+
+// String renders the instruction in the textual IR syntax (without
+// location comment).
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Dst != "" {
+		fmt.Fprintf(&b, "%%%s = ", in.Dst)
+	}
+	switch {
+	case in.Op.IsIntBinary() || in.Op.IsFloatBinary():
+		fmt.Fprintf(&b, "%s %s %s, %s", in.Op, in.Type, in.Args[0], in.Args[1])
+	case in.Op.IsFloatUnary():
+		fmt.Fprintf(&b, "%s %s %s", in.Op, in.Type, in.Args[0])
+	case in.Op == OpICmp || in.Op == OpFCmp:
+		fmt.Fprintf(&b, "%s %s %s %s, %s", in.Op, in.Pred, in.Type, in.Args[0], in.Args[1])
+	case in.Op == OpSelect:
+		fmt.Fprintf(&b, "select %s %s, %s, %s", in.Type, in.Args[0], in.Args[1], in.Args[2])
+	case in.Op == OpMov:
+		fmt.Fprintf(&b, "mov %s %s", in.Type, in.Args[0])
+	case in.Op == OpSitofp || in.Op == OpFptosi || in.Op == OpSext || in.Op == OpTrunc || in.Op == OpZext:
+		fmt.Fprintf(&b, "%s %s", in.Op, in.Args[0])
+	case in.Op == OpGEP:
+		fmt.Fprintf(&b, "gep %s, %s, %d", in.Args[0], in.Args[1], in.Scale)
+	case in.Op == OpLd:
+		op := "ld"
+		if in.NonCached {
+			op = "ld.cg"
+		}
+		fmt.Fprintf(&b, "%s %s %s [%s]", op, in.Mem, in.Space, in.Args[0])
+	case in.Op == OpSt:
+		fmt.Fprintf(&b, "st %s %s [%s], %s", in.Mem, in.Space, in.Args[0], in.Args[1])
+	case in.Op == OpAtom:
+		fmt.Fprintf(&b, "atomadd %s %s [%s], %s", in.Mem, in.Space, in.Args[0], in.Args[1])
+	case in.Op == OpSReg:
+		fmt.Fprintf(&b, "sreg %s", in.SReg)
+	case in.Op == OpShPtr:
+		fmt.Fprintf(&b, "shptr @%s", in.Callee)
+	case in.Op == OpBr:
+		fmt.Fprintf(&b, "br %s", in.Then)
+	case in.Op == OpCBr:
+		fmt.Fprintf(&b, "cbr %s, %s, %s", in.Args[0], in.Then, in.Else)
+	case in.Op == OpRet:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&b, "ret %s", in.Args[0])
+		} else {
+			b.WriteString("ret")
+		}
+	case in.Op == OpCall:
+		fmt.Fprintf(&b, "call @%s(", in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString(")")
+	case in.Op == OpBar:
+		b.WriteString("bar")
+	default:
+		fmt.Fprintf(&b, "%s ???", in.Op)
+	}
+	return b.String()
+}

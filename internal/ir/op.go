@@ -1,0 +1,220 @@
+package ir
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The set mirrors the subset of LLVM/PTX the paper's
+// instrumentation engine distinguishes: arithmetic operations, memory
+// operations, control-flow operations, calls/returns, and barriers.
+const (
+	OpInvalid Op = iota
+
+	// Integer binary arithmetic (I32 or I64 operands, same-type result).
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+	OpSMin
+	OpSMax
+
+	// Float binary arithmetic (F32).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFMin
+	OpFMax
+
+	// Float unary (F32).
+	OpFNeg
+	OpFAbs
+	OpFSqrt
+	OpFExp
+	OpFLog
+
+	// Comparisons: result I1. Pred selects the predicate.
+	OpICmp
+	OpFCmp
+
+	// Select: dst = pred ? a : b (operands of any one type).
+	OpSelect
+
+	// Move: dst = src (register or immediate). Used to initialise loop
+	// registers in the non-SSA IR.
+	OpMov
+
+	// Conversions.
+	OpSitofp // I32 -> F32
+	OpFptosi // F32 -> I32 (truncating)
+	OpSext   // I32 -> I64
+	OpTrunc  // I64 -> I32
+	OpZext   // I1 -> I32
+
+	// Address computation: dst(Ptr) = base(Ptr) + sext(index) * Scale.
+	OpGEP
+
+	// Memory operations.
+	OpLd   // dst = load MemType Space [addr]
+	OpSt   // store MemType Space [addr], val
+	OpAtom // dst = atomic add MemType(Global) [addr], val; returns old value
+
+	// Special registers (threadIdx/blockIdx/blockDim/gridDim). SReg field
+	// selects which; result I32.
+	OpSReg
+
+	// Shared-memory base: dst(Ptr) = offset of the named shared array in
+	// the CTA's shared space. Callee holds the array name.
+	OpShPtr
+
+	// Control flow (terminators).
+	OpBr  // unconditional branch to Then
+	OpCBr // conditional branch: Args[0] (I1) ? Then : Else
+	OpRet // return, optionally with Args[0]
+
+	// Device-function call: Dst (optional) = Callee(Args...).
+	OpCall
+
+	// CTA-wide barrier (__syncthreads).
+	OpBar
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpSMin: "smin", OpSMax: "smax",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFMin: "fmin", OpFMax: "fmax",
+	OpFNeg: "fneg", OpFAbs: "fabs", OpFSqrt: "fsqrt", OpFExp: "fexp", OpFLog: "flog",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpSelect: "select", OpMov: "mov",
+	OpSitofp: "sitofp", OpFptosi: "fptosi", OpSext: "sext", OpTrunc: "trunc", OpZext: "zext",
+	OpGEP: "gep",
+	OpLd:  "ld", OpSt: "st", OpAtom: "atomadd",
+	OpSReg: "sreg", OpShPtr: "shptr",
+	OpBr: "br", OpCBr: "cbr", OpRet: "ret",
+	OpCall: "call", OpBar: "bar",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCBr || o == OpRet }
+
+// IsIntBinary reports whether the opcode is a two-operand integer
+// arithmetic operation.
+func (o Op) IsIntBinary() bool { return o >= OpAdd && o <= OpSMax }
+
+// IsFloatBinary reports whether the opcode is a two-operand float
+// arithmetic operation.
+func (o Op) IsFloatBinary() bool { return o >= OpFAdd && o <= OpFMax }
+
+// IsFloatUnary reports whether the opcode is a one-operand float operation.
+func (o Op) IsFloatUnary() bool { return o >= OpFNeg && o <= OpFLog }
+
+// IsArith reports whether the opcode is an arithmetic computation in the
+// paper's sense (category for optional arithmetic instrumentation).
+func (o Op) IsArith() bool {
+	return o.IsIntBinary() || o.IsFloatBinary() || o.IsFloatUnary() ||
+		o == OpICmp || o == OpFCmp || o == OpSelect ||
+		o == OpSitofp || o == OpFptosi
+}
+
+// IsMemAccess reports whether the opcode reads or writes memory.
+func (o Op) IsMemAccess() bool { return o == OpLd || o == OpSt || o == OpAtom }
+
+// CmpPred is a comparison predicate for OpICmp/OpFCmp.
+type CmpPred uint8
+
+// Comparison predicates. Integer compares are signed; float compares are
+// ordered (NaN compares false).
+const (
+	PredInvalid CmpPred = iota
+	PredEQ
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+var predNames = [...]string{
+	PredInvalid: "??",
+	PredEQ:      "eq", PredNE: "ne", PredLT: "lt", PredLE: "le", PredGT: "gt", PredGE: "ge",
+}
+
+func (p CmpPred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// PredFromString parses a predicate mnemonic.
+func PredFromString(s string) (CmpPred, bool) {
+	for p, n := range predNames {
+		if n == s && CmpPred(p) != PredInvalid {
+			return CmpPred(p), true
+		}
+	}
+	return PredInvalid, false
+}
+
+// SRegKind selects a special register.
+type SRegKind uint8
+
+// Special registers, mirroring PTX %tid/%ctaid/%ntid/%nctaid.
+const (
+	SRegTidX SRegKind = iota
+	SRegTidY
+	SRegTidZ
+	SRegCtaidX
+	SRegCtaidY
+	SRegCtaidZ
+	SRegNtidX
+	SRegNtidY
+	SRegNtidZ
+	SRegNctaidX
+	SRegNctaidY
+	SRegNctaidZ
+)
+
+var sregNames = [...]string{
+	SRegTidX: "tid.x", SRegTidY: "tid.y", SRegTidZ: "tid.z",
+	SRegCtaidX: "ctaid.x", SRegCtaidY: "ctaid.y", SRegCtaidZ: "ctaid.z",
+	SRegNtidX: "ntid.x", SRegNtidY: "ntid.y", SRegNtidZ: "ntid.z",
+	SRegNctaidX: "nctaid.x", SRegNctaidY: "nctaid.y", SRegNctaidZ: "nctaid.z",
+}
+
+func (s SRegKind) String() string {
+	if int(s) < len(sregNames) {
+		return sregNames[s]
+	}
+	return fmt.Sprintf("sreg(%d)", uint8(s))
+}
+
+// SRegFromString parses a special-register name like "tid.x".
+func SRegFromString(s string) (SRegKind, bool) {
+	for k, n := range sregNames {
+		if n == s {
+			return SRegKind(k), true
+		}
+	}
+	return 0, false
+}

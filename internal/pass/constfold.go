@@ -1,0 +1,134 @@
+package pass
+
+import (
+	"math"
+
+	"cudaadvisor/internal/ir"
+)
+
+// ConstFold rewrites pure instructions whose operands are all constants
+// into equivalent moves of the folded constant. It never folds operations
+// that could fault (division by zero stays put so the simulator reports
+// it at the faulting thread). Because the IR is not SSA the fold does not
+// propagate constants through registers; it only simplifies each
+// instruction locally, which is what the instrumentation engine needs to
+// keep hook-argument expressions cheap.
+func ConstFold() Pass {
+	return ForEachFunc("constfold", func(f *ir.Function) (bool, error) {
+		changed := false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if foldInstr(in) {
+					changed = true
+				}
+			}
+		}
+		return changed, nil
+	})
+}
+
+func allConst(in *ir.Instr) bool {
+	for _, a := range in.Args {
+		if a.Kind == ir.KReg {
+			return false
+		}
+	}
+	return true
+}
+
+// replaceWithConst rewrites in as "mov <t> <bits-decoded-const>".
+func replaceWithConst(in *ir.Instr, t ir.Type, bits uint64) {
+	var op ir.Operand
+	if t == ir.F32 {
+		op = ir.FloatOp(float64(ir.F32FromBits(bits)))
+	} else {
+		var v int64
+		switch t {
+		case ir.I1:
+			v = int64(bits & 1)
+		case ir.I32:
+			v = int64(ir.I32FromBits(bits))
+		default:
+			v = int64(bits)
+		}
+		op = ir.IntOp(v, t)
+	}
+	*in = ir.Instr{
+		Op: ir.OpMov, Type: t, Dst: in.Dst, DstReg: in.DstReg,
+		Args: []ir.Operand{op}, Loc: in.Loc,
+		ThenIdx: -1, ElseIdx: -1,
+	}
+}
+
+func foldInstr(in *ir.Instr) bool {
+	if in.Dst == "" || !allConst(in) {
+		return false
+	}
+	arg := func(i int) uint64 { return ir.ConstBits(in.Args[i]) }
+	switch {
+	case in.Op.IsIntBinary():
+		if in.Op == ir.OpSDiv || in.Op == ir.OpSRem {
+			if ir.ConstBits(in.Args[1]) == 0 {
+				return false // keep the faulting instruction
+			}
+		}
+		bits, err := ir.EvalIntBin(in.Op, in.Type, arg(0), arg(1))
+		if err != nil {
+			return false
+		}
+		replaceWithConst(in, in.Type, bits)
+	case in.Op.IsFloatBinary():
+		bits, err := ir.EvalFloatBin(in.Op, arg(0), arg(1))
+		if err != nil {
+			return false
+		}
+		if f := ir.F32FromBits(bits); math.IsNaN(float64(f)) {
+			return false // NaN has no literal form in the textual IR
+		}
+		replaceWithConst(in, ir.F32, bits)
+	case in.Op.IsFloatUnary():
+		bits, err := ir.EvalFloatUn(in.Op, arg(0))
+		if err != nil {
+			return false
+		}
+		if f := ir.F32FromBits(bits); math.IsNaN(float64(f)) {
+			return false
+		}
+		replaceWithConst(in, ir.F32, bits)
+	case in.Op == ir.OpICmp:
+		bits, err := ir.EvalICmp(in.Pred, in.Type, arg(0), arg(1))
+		if err != nil {
+			return false
+		}
+		replaceWithConst(in, ir.I1, bits)
+	case in.Op == ir.OpFCmp:
+		bits, err := ir.EvalFCmp(in.Pred, arg(0), arg(1))
+		if err != nil {
+			return false
+		}
+		replaceWithConst(in, ir.I1, bits)
+	case in.Op == ir.OpSelect:
+		if arg(0)&1 == 1 {
+			replaceWithConst(in, in.Type, ir.ConstBits(in.Args[1]))
+		} else {
+			replaceWithConst(in, in.Type, ir.ConstBits(in.Args[2]))
+		}
+	case in.Op == ir.OpSitofp, in.Op == ir.OpFptosi, in.Op == ir.OpSext,
+		in.Op == ir.OpTrunc, in.Op == ir.OpZext:
+		bits, err := ir.EvalCvt(in.Op, arg(0))
+		if err != nil {
+			return false
+		}
+		t := ir.I32
+		switch in.Op {
+		case ir.OpSitofp:
+			t = ir.F32
+		case ir.OpSext:
+			t = ir.I64
+		}
+		replaceWithConst(in, t, bits)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,68 @@
+package pass
+
+import "cudaadvisor/internal/ir"
+
+// DCE removes pure instructions whose result register is never read
+// anywhere in the function. Because the IR is not SSA the analysis is
+// flow-insensitive: a register counts as live if any instruction in the
+// function reads it. Memory operations, calls, barriers and terminators
+// are never removed.
+func DCE() Pass {
+	return ForEachFunc("dce", func(f *ir.Function) (bool, error) {
+		changed := false
+		for {
+			read := make(map[string]bool)
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					for _, a := range in.Args {
+						if a.Kind == ir.KReg {
+							read[a.Name] = true
+						}
+					}
+				}
+			}
+			removed := false
+			for _, b := range f.Blocks {
+				kept := b.Instrs[:0]
+				for _, in := range b.Instrs {
+					if isPure(in) && in.Dst != "" && !read[in.Dst] {
+						removed = true
+						continue
+					}
+					kept = append(kept, in)
+				}
+				b.Instrs = kept
+			}
+			if !removed {
+				break
+			}
+			changed = true
+		}
+		return changed, nil
+	})
+}
+
+// isPure reports whether removing the instruction cannot change observable
+// behaviour (no memory effects, control effects, calls, or possible traps).
+func isPure(in *ir.Instr) bool {
+	switch {
+	case in.Op == ir.OpSDiv || in.Op == ir.OpSRem:
+		// May trap on divide-by-zero; only pure when the divisor is a
+		// non-zero constant.
+		d := in.Args[1]
+		return d.Kind == ir.KConstInt && d.Int != 0
+	case in.Op.IsIntBinary(), in.Op.IsFloatBinary(), in.Op.IsFloatUnary():
+		return true
+	case in.Op == ir.OpICmp, in.Op == ir.OpFCmp, in.Op == ir.OpSelect, in.Op == ir.OpMov:
+		return true
+	case in.Op == ir.OpSitofp, in.Op == ir.OpFptosi, in.Op == ir.OpSext,
+		in.Op == ir.OpTrunc, in.Op == ir.OpZext:
+		return true
+	case in.Op == ir.OpGEP, in.Op == ir.OpSReg, in.Op == ir.OpShPtr:
+		return true
+	default:
+		// Loads are kept: they can fault on out-of-range addresses, and
+		// removing them would change the profiles the tool exists to take.
+		return false
+	}
+}

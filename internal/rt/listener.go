@@ -1,0 +1,56 @@
+package rt
+
+import (
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/ir"
+)
+
+// NopListener is a Listener that ignores every event. Embed it to build
+// listeners that care about a subset of events (e.g. cycle accounting for
+// the bypassing study).
+type NopListener struct{}
+
+var _ Listener = NopListener{}
+
+// HostEnter implements Listener.
+func (NopListener) HostEnter(string, ir.Loc) {}
+
+// HostLeave implements Listener.
+func (NopListener) HostLeave() {}
+
+// HostAlloc implements Listener.
+func (NopListener) HostAlloc(*HostBuf, ir.Loc) {}
+
+// DeviceAlloc implements Listener.
+func (NopListener) DeviceAlloc(uint64, int64, ir.Loc) {}
+
+// Memcpy implements Listener.
+func (NopListener) Memcpy(CopyKind, uint64, uint64, int64, ir.Loc) {}
+
+// KernelLaunch implements Listener.
+func (NopListener) KernelLaunch(*LaunchInfo) (gpu.Hooks, error) { return nil, nil }
+
+// KernelEnd implements Listener.
+func (NopListener) KernelEnd(*LaunchInfo, *gpu.LaunchResult) {}
+
+// CycleCounter accumulates modeled kernel cycles across every launch in a
+// run; the measurement behind the bypassing comparisons (Figures 6/7).
+type CycleCounter struct {
+	NopListener
+	Cycles   int64
+	Launches int
+	// PerKernel accumulates cycles by kernel name.
+	PerKernel map[string]int64
+}
+
+// NewCycleCounter returns an empty counter.
+func NewCycleCounter() *CycleCounter {
+	return &CycleCounter{PerKernel: make(map[string]int64)}
+}
+
+// KernelEnd implements Listener.
+func (c *CycleCounter) KernelEnd(info *LaunchInfo, res *gpu.LaunchResult) {
+	c.Cycles += res.Cycles
+	c.Launches++
+	c.PerKernel[info.Kernel] += res.Cycles
+}

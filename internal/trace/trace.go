@@ -1,0 +1,228 @@
+// Package trace defines the performance-data records CUDAAdvisor's
+// profiler collects during kernel execution: memory-access entries (the
+// paper's Record() payload: effective address, access width, source
+// location, CTA and thread identity), basic-block execution entries (the
+// passBasicBlock() payload), and the interned calling-context tree that
+// code-centric profiling concatenates across host and device.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"cudaadvisor/internal/ir"
+)
+
+// WarpSize mirrors gpu.WarpSize without importing the simulator.
+const WarpSize = 32
+
+// AccessKind classifies a memory record.
+type AccessKind uint8
+
+// Memory access kinds.
+const (
+	Load AccessKind = iota
+	Store
+	Atomic
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Atomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MemAccess is one warp-level memory event: the per-thread Record()
+// entries of one executed memory instruction, grouped by warp (every
+// active lane contributes its effective address in Addrs).
+type MemAccess struct {
+	CTA   int32
+	Warp  int32 // warp id within the CTA
+	Mask  uint32
+	Kind  AccessKind
+	Space ir.Space
+	Bits  uint8 // access width in bits
+	Loc   int32 // LocTable id of the source location
+	Ctx   int32 // ContextTree id of the calling context
+	Addrs [WarpSize]uint64
+}
+
+// BlockExec is one warp-level basic-block entry event (passBasicBlock()).
+type BlockExec struct {
+	CTA      int32
+	Warp     int32
+	Mask     uint32 // lanes that entered the block
+	InitMask uint32 // the warp's full mask at kernel start
+	Block    int32  // block id in the instrumentation tables
+	Loc      int32
+	Ctx      int32
+}
+
+// Divergent reports whether this dynamic block execution diverged: not
+// every live thread of the warp executed it.
+func (b BlockExec) Divergent() bool { return b.Mask != b.InitMask }
+
+// KernelTrace is the full profile buffer of one kernel instance, copied
+// "back to the host" at kernel exit.
+type KernelTrace struct {
+	Kernel   string
+	Instance int
+	Grid     [3]int
+	Block    [3]int
+
+	Mem    []MemAccess
+	Blocks []BlockExec
+
+	Locs *LocTable
+}
+
+// NewKernelTrace returns an empty trace with a fresh location table.
+func NewKernelTrace(kernel string, instance int, grid, block [3]int) *KernelTrace {
+	return &KernelTrace{
+		Kernel: kernel, Instance: instance, Grid: grid, Block: block,
+		Locs: NewLocTable(),
+	}
+}
+
+// LocTable interns source locations.
+type LocTable struct {
+	locs  []ir.Loc
+	index map[ir.Loc]int32
+}
+
+// NewLocTable returns an empty table.
+func NewLocTable() *LocTable {
+	return &LocTable{index: make(map[ir.Loc]int32)}
+}
+
+// Intern returns the id for loc, adding it if new.
+func (t *LocTable) Intern(loc ir.Loc) int32 {
+	if id, ok := t.index[loc]; ok {
+		return id
+	}
+	id := int32(len(t.locs))
+	t.locs = append(t.locs, loc)
+	t.index[loc] = id
+	return id
+}
+
+// Loc returns the location for an id.
+func (t *LocTable) Loc(id int32) ir.Loc {
+	if id < 0 || int(id) >= len(t.locs) {
+		return ir.Loc{}
+	}
+	return t.locs[id]
+}
+
+// Len returns the number of interned locations.
+func (t *LocTable) Len() int { return len(t.locs) }
+
+// Frame is one level of a calling context: a function plus the source
+// location of the call site (or of the frame itself for roots).
+type Frame struct {
+	Func   string
+	Loc    ir.Loc
+	Device bool // GPU-side frame
+}
+
+func (f Frame) String() string {
+	side := "CPU"
+	if f.Device {
+		side = "GPU"
+	}
+	return fmt.Sprintf("[%s] %s():: %s", side, f.Func, f.Loc)
+}
+
+// ContextTree interns calling contexts as a tree: every node is a frame
+// plus a parent, so a full call path is recovered by walking to the root.
+// Node 0 is the empty root context.
+type ContextTree struct {
+	parent []int32
+	frame  []Frame
+	index  map[ctxKey]int32
+}
+
+type ctxKey struct {
+	parent int32
+	frame  Frame
+}
+
+// NewContextTree returns a tree holding only the root context (id 0).
+func NewContextTree() *ContextTree {
+	return &ContextTree{
+		parent: []int32{-1},
+		frame:  []Frame{{}},
+		index:  make(map[ctxKey]int32),
+	}
+}
+
+// Root is the id of the empty context.
+const Root int32 = 0
+
+// Child returns the context id for frame called from parent, interning a
+// new node if needed.
+func (t *ContextTree) Child(parent int32, f Frame) int32 {
+	k := ctxKey{parent, f}
+	if id, ok := t.index[k]; ok {
+		return id
+	}
+	id := int32(len(t.parent))
+	t.parent = append(t.parent, parent)
+	t.frame = append(t.frame, f)
+	t.index[k] = id
+	return id
+}
+
+// Parent returns the parent id of a context (Root's parent is -1).
+func (t *ContextTree) Parent(id int32) int32 {
+	if id <= 0 || int(id) >= len(t.parent) {
+		return -1
+	}
+	return t.parent[id]
+}
+
+// Frame returns the frame of a context node.
+func (t *ContextTree) Frame(id int32) Frame {
+	if id < 0 || int(id) >= len(t.frame) {
+		return Frame{}
+	}
+	return t.frame[id]
+}
+
+// Path returns the frames from the outermost caller (e.g. main) down to
+// the context itself.
+func (t *ContextTree) Path(id int32) []Frame {
+	var rev []Frame
+	for id > 0 && int(id) < len(t.frame) {
+		rev = append(rev, t.frame[id])
+		id = t.parent[id]
+	}
+	out := make([]Frame, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// Len returns the number of nodes including the root.
+func (t *ContextTree) Len() int { return len(t.parent) }
+
+// FormatPath renders a call path in the style of the paper's Figure 8:
+// indexed frames, host first, then device.
+func FormatPath(frames []Frame) string {
+	var b strings.Builder
+	for i, f := range frames {
+		side := "CPU"
+		if f.Device {
+			side = "GPU"
+		}
+		fmt.Fprintf(&b, "%s %d: %s():: %s:%d\n", side, i, f.Func, f.Loc.File, f.Loc.Line)
+	}
+	return b.String()
+}

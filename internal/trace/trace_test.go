@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cudaadvisor/internal/ir"
+)
+
+func TestLocTableInterning(t *testing.T) {
+	lt := NewLocTable()
+	a := ir.Loc{File: "k.cu", Line: 10, Col: 3}
+	b := ir.Loc{File: "k.cu", Line: 11, Col: 3}
+	ida := lt.Intern(a)
+	idb := lt.Intern(b)
+	if ida == idb {
+		t.Fatal("distinct locations interned to the same id")
+	}
+	if got := lt.Intern(a); got != ida {
+		t.Errorf("re-interning changed id: %d != %d", got, ida)
+	}
+	if lt.Loc(ida) != a || lt.Loc(idb) != b {
+		t.Error("Loc round-trip failed")
+	}
+	if lt.Len() != 2 {
+		t.Errorf("Len = %d, want 2", lt.Len())
+	}
+	if (lt.Loc(99) != ir.Loc{}) {
+		t.Error("out-of-range id should return zero Loc")
+	}
+}
+
+func TestContextTreeInterning(t *testing.T) {
+	ct := NewContextTree()
+	main := ct.Child(Root, Frame{Func: "main", Loc: ir.Loc{File: "m.c", Line: 1}})
+	k1 := ct.Child(main, Frame{Func: "Kernel", Loc: ir.Loc{File: "m.c", Line: 9}})
+	k2 := ct.Child(main, Frame{Func: "Kernel", Loc: ir.Loc{File: "m.c", Line: 9}})
+	if k1 != k2 {
+		t.Error("same (parent, frame) interned twice")
+	}
+	dev := ct.Child(k1, Frame{Func: "helper", Device: true})
+	path := ct.Path(dev)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+	if path[0].Func != "main" || path[2].Func != "helper" || !path[2].Device {
+		t.Errorf("path = %v", path)
+	}
+	if ct.Parent(dev) != k1 || ct.Parent(main) != Root {
+		t.Error("Parent links wrong")
+	}
+	if ct.Parent(Root) != -1 {
+		t.Error("Root parent should be -1")
+	}
+	if ct.Len() != 4 { // root + 3
+		t.Errorf("Len = %d, want 4", ct.Len())
+	}
+}
+
+func TestContextTreePathRootIsEmpty(t *testing.T) {
+	ct := NewContextTree()
+	if p := ct.Path(Root); len(p) != 0 {
+		t.Errorf("Path(Root) = %v, want empty", p)
+	}
+	if p := ct.Path(-5); len(p) != 0 {
+		t.Errorf("Path(-5) = %v, want empty", p)
+	}
+}
+
+// Property: Child is a pure interning function — same inputs, same id;
+// and Path always ends with the frame just added.
+func TestContextTreeProperties(t *testing.T) {
+	ct := NewContextTree()
+	f := func(names []string) bool {
+		parent := Root
+		for _, n := range names {
+			if n == "" {
+				n = "f"
+			}
+			if len(n) > 8 {
+				n = n[:8]
+			}
+			id := ct.Child(parent, Frame{Func: n})
+			if id2 := ct.Child(parent, Frame{Func: n}); id2 != id {
+				return false
+			}
+			path := ct.Path(id)
+			if len(path) == 0 || path[len(path)-1].Func != n {
+				return false
+			}
+			parent = id
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockExecDivergent(t *testing.T) {
+	b := BlockExec{Mask: 0xFFFF, InitMask: 0xFFFFFFFF}
+	if !b.Divergent() {
+		t.Error("partial mask not flagged divergent")
+	}
+	b.Mask = b.InitMask
+	if b.Divergent() {
+		t.Error("full mask flagged divergent")
+	}
+}
+
+func TestFormatPath(t *testing.T) {
+	frames := []Frame{
+		{Func: "main", Loc: ir.Loc{File: "bfs.cu", Line: 57}},
+		{Func: "BFSGraph", Loc: ir.Loc{File: "bfs.cu", Line: 63}},
+		{Func: "Kernel", Loc: ir.Loc{File: "Kernel.cu", Line: 33}, Device: true},
+	}
+	text := FormatPath(frames)
+	for _, want := range []string{
+		"CPU 0: main():: bfs.cu:57",
+		"CPU 1: BFSGraph():: bfs.cu:63",
+		"GPU 2: Kernel():: Kernel.cu:33",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted path missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" || Atomic.String() != "atomic" {
+		t.Error("AccessKind strings wrong")
+	}
+}
+
+func TestNewKernelTrace(t *testing.T) {
+	tr := NewKernelTrace("k", 3, [3]int{4, 1, 1}, [3]int{128, 1, 1})
+	if tr.Kernel != "k" || tr.Instance != 3 || tr.Locs == nil {
+		t.Errorf("trace not initialized: %+v", tr)
+	}
+}
