@@ -12,7 +12,9 @@ package cudaadvisor_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/apps"
@@ -22,13 +24,14 @@ import (
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/ir"
 	"cudaadvisor/internal/rt"
+	"cudaadvisor/internal/runner"
 )
 
 // BenchmarkFigure4ReuseDistance regenerates the reuse-distance histograms
 // of Figure 4 (seven applications, element-based model, per CTA).
 func BenchmarkFigure4ReuseDistance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure4(1)
+		res, err := experiments.Figure4(nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +58,7 @@ func BenchmarkFigure5MemoryDivergencePascal(b *testing.B) {
 func benchFigure5(b *testing.B, cfg gpu.ArchConfig) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure5(cfg, 1)
+		res, err := experiments.Figure5(nil, cfg, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,10 +69,69 @@ func benchFigure5(b *testing.B, cfg gpu.ArchConfig) {
 	}
 }
 
+// BenchmarkWriteFigure5Serial renders the full Figure 5 (both panels, all
+// ten apps) on the serial reference path.
+func BenchmarkWriteFigure5Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.WriteFigure5(io.Discard, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteFigure5Parallel renders Figure 5 through the parallel
+// runner at -j max(4, GOMAXPROCS).
+func BenchmarkWriteFigure5Parallel(b *testing.B) {
+	pool := runner.New(speedupWorkers())
+	b.ReportMetric(float64(pool.Workers()), "workers")
+	for i := 0; i < b.N; i++ {
+		if err := experiments.WriteFigure5(io.Discard, pool, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSpeedupFigure5 times the serial and parallel Figure 5
+// paths back to back and reports the wall-clock speedup the worker pool
+// delivers (the 20 app×arch cells are independent simulator runs, so on
+// a machine with >= 4 cores the speedup is expected to exceed 2x; on a
+// single core it degrades gracefully to ~1x).
+func BenchmarkRunnerSpeedupFigure5(b *testing.B) {
+	pool := runner.New(speedupWorkers())
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := experiments.WriteFigure5(io.Discard, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		t1 := time.Now()
+		if err := experiments.WriteFigure5(io.Discard, pool, 1); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t1)
+		if i == 0 {
+			b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+			// The pool clamps to GOMAXPROCS, so this reports the worker
+			// count actually used.
+			b.ReportMetric(float64(pool.Workers()), "workers")
+		}
+	}
+}
+
+// speedupWorkers picks the pool size for the speedup benchmarks: at least
+// the 4 workers the evaluation targets, more when the machine has them
+// (runner.New clamps to the machine's actual parallelism).
+func speedupWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
 // BenchmarkTable3BranchDivergence regenerates the branch-divergence table.
 func BenchmarkTable3BranchDivergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(1)
+		rows, err := experiments.Table3(nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +165,7 @@ func BenchmarkFigure7BypassPascal(b *testing.B) {
 func benchBypass(b *testing.B, cfg gpu.ArchConfig) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.BypassStudy(cfg, 1)
+		rows, err := experiments.BypassStudy(nil, cfg, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +196,7 @@ func BenchmarkFigure10OverheadPascal(b *testing.B) {
 func benchOverhead(b *testing.B, cfg gpu.ArchConfig) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Overhead(cfg, 1)
+		rows, err := experiments.Overhead(nil, cfg, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +214,7 @@ func benchOverhead(b *testing.B, cfg gpu.ArchConfig) {
 // debugging views on bfs.
 func BenchmarkFigures8and9DebugViews(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.WriteCodeDataCentric(io.Discard, 1); err != nil {
+		if err := experiments.WriteCodeDataCentric(io.Discard, nil, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,12 +4,20 @@
 //
 // Usage:
 //
+//	cudaadvisor [-j N] <command> [args]
+//
 //	cudaadvisor apps                      list the benchmark applications
 //	cudaadvisor profile <app> [flags]     run one app under the profiler
 //	cudaadvisor figure4|figure5|table3    regenerate an experiment
 //	cudaadvisor figure6|figure7|figure10
 //	cudaadvisor debugviews                Figures 8/9 (code/data-centric)
 //	cudaadvisor all                       every table and figure
+//
+// Global flags (before the command):
+//
+//	-j N    parallel simulator runs (default 0 = GOMAXPROCS). Every
+//	        experiment fans its independent runs out on a bounded worker
+//	        pool; output is byte-identical for every N.
 //
 // Flags for profile:
 //
@@ -19,8 +27,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cudaadvisor/internal/analysis"
@@ -30,14 +40,19 @@ import (
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/runner"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	jFlag := flag.Int("j", 0, "parallel simulator runs (0 = GOMAXPROCS)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	pool := runner.New(*jFlag)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "apps":
@@ -47,33 +62,21 @@ func main() {
 	case "profile":
 		err = profileCmd(args)
 	case "figure4":
-		err = experiments.WriteFigure4(os.Stdout, 1)
+		err = experiments.WriteFigure4(os.Stdout, pool, 1)
 	case "figure5":
-		err = experiments.WriteFigure5(os.Stdout, 1)
+		err = experiments.WriteFigure5(os.Stdout, pool, 1)
 	case "table3":
-		err = experiments.WriteTable3(os.Stdout, 1)
+		err = experiments.WriteTable3(os.Stdout, pool, 1)
 	case "figure6":
-		err = experiments.WriteFigure6(os.Stdout, 1)
+		err = experiments.WriteFigure6(os.Stdout, pool, 1)
 	case "figure7":
-		err = experiments.WriteFigure7(os.Stdout, 1)
+		err = experiments.WriteFigure7(os.Stdout, pool, 1)
 	case "figure10":
-		err = experiments.WriteFigure10(os.Stdout, 1)
+		err = experiments.WriteFigure10(os.Stdout, pool, 1)
 	case "debugviews":
-		err = experiments.WriteCodeDataCentric(os.Stdout, 1)
+		err = experiments.WriteCodeDataCentric(os.Stdout, pool, 1)
 	case "all":
-		for _, f := range []func() error{
-			func() error { return experiments.WriteFigure4(os.Stdout, 1) },
-			func() error { return experiments.WriteFigure5(os.Stdout, 1) },
-			func() error { return experiments.WriteTable3(os.Stdout, 1) },
-			func() error { return experiments.WriteFigure6(os.Stdout, 1) },
-			func() error { return experiments.WriteFigure7(os.Stdout, 1) },
-			func() error { return experiments.WriteCodeDataCentric(os.Stdout, 1) },
-			func() error { return experiments.WriteFigure10(os.Stdout, 1) },
-		} {
-			if err = f(); err != nil {
-				break
-			}
-		}
+		err = allCmd(pool)
 	default:
 		usage()
 		os.Exit(2)
@@ -84,8 +87,41 @@ func main() {
 	}
 }
 
+// allCmd regenerates every table and figure. The analysis experiments run
+// concurrently (each figure is a coordinator whose simulator runs are
+// gated on the shared pool) and are printed in paper order; the
+// wall-clock overhead study (Figure 10) runs afterwards, alone, so the
+// concurrent figures cannot distort its timing.
+func allCmd(pool *runner.Pool) error {
+	figures := []func(w io.Writer) error{
+		func(w io.Writer) error { return experiments.WriteFigure4(w, pool, 1) },
+		func(w io.Writer) error { return experiments.WriteFigure5(w, pool, 1) },
+		func(w io.Writer) error { return experiments.WriteTable3(w, pool, 1) },
+		func(w io.Writer) error { return experiments.WriteFigure6(w, pool, 1) },
+		func(w io.Writer) error { return experiments.WriteFigure7(w, pool, 1) },
+		func(w io.Writer) error { return experiments.WriteCodeDataCentric(w, pool, 1) },
+	}
+	bufs := make([]bytes.Buffer, len(figures))
+	err := runner.Concurrent(pool, len(figures), func(i int) error {
+		return figures[i](&bufs[i])
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := os.Stdout.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return experiments.WriteFigure10(os.Stdout, pool, 1)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cudaadvisor <command>
+	fmt.Fprintln(os.Stderr, `usage: cudaadvisor [-j N] <command>
+
+global flags:
+  -j N         parallel simulator runs (default 0 = GOMAXPROCS); every
+               experiment fans out on a worker pool with byte-identical output
 
 commands:
   apps         list the benchmark applications (Table 2)
@@ -97,7 +133,7 @@ commands:
   figure7      cache bypassing on Pascal (24 KB unified cache)
   figure10     instrumentation overhead
   debugviews   code-/data-centric debugging views (Figures 8/9)
-  all          everything above`)
+  all          everything above (figures run concurrently; figure10 last, alone)`)
 }
 
 func profileCmd(args []string) error {

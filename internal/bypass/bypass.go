@@ -11,6 +11,7 @@ import (
 
 	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/runner"
 )
 
 // ModelInputs are the terms of Eq. (1):
@@ -175,32 +176,44 @@ func (c Comparison) PredictNorm() float64 {
 }
 
 // Compare runs the full three-way comparison: baseline, oracle sweep, and
-// the model prediction.
-func Compare(app, arch string, cfg gpu.ArchConfig, warpsPerCTA, predictWarps int, run Runner) (Comparison, error) {
+// the model prediction. The sweep points k = 1..warpsPerCTA are
+// independent end-to-end runs, so they fan out on the pool (nil = serial)
+// and are reduced in k order; the simulator's determinism makes the
+// result identical to the serial sweep. The baseline (k = warpsPerCTA)
+// and the prediction configuration are read back out of the sweep rather
+// than re-run. run must be safe for concurrent use when pool is non-nil.
+func Compare(app, arch string, cfg gpu.ArchConfig, warpsPerCTA, predictWarps int, pool *runner.Pool, run Runner) (Comparison, error) {
 	c := Comparison{
 		App: app, Arch: arch, L1Bytes: cfg.L1Bytes,
 		WarpsPerCTA: warpsPerCTA, PredictWarps: predictWarps,
 	}
-	base, err := run(warpsPerCTA)
-	if err != nil {
-		return c, fmt.Errorf("bypass: baseline: %w", err)
+	if warpsPerCTA < 1 {
+		return c, fmt.Errorf("bypass: warpsPerCTA = %d", warpsPerCTA)
 	}
-	c.BaselineCycles = base
-
-	best, _, err := Oracle(warpsPerCTA, run)
+	if predictWarps < 1 || predictWarps > warpsPerCTA {
+		return c, fmt.Errorf("bypass: predictWarps = %d outside [1, %d]", predictWarps, warpsPerCTA)
+	}
+	sweep, err := runner.Map(pool, warpsPerCTA, func(i int) (SweepPoint, error) {
+		k := i + 1
+		cycles, err := run(k)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("bypass: sweep run k=%d: %w", k, err)
+		}
+		return SweepPoint{L1Warps: k, Cycles: cycles}, nil
+	})
 	if err != nil {
 		return c, err
 	}
-	c.OracleCycles, c.OracleWarps = best.Cycles, best.L1Warps
-
-	if predictWarps == warpsPerCTA {
-		c.PredictCycles = base
-	} else {
-		pc, err := run(predictWarps)
-		if err != nil {
-			return c, fmt.Errorf("bypass: prediction run: %w", err)
+	// Ordered reduction: scan in k order so ties resolve to the lowest k,
+	// exactly as the serial Oracle loop does.
+	best := sweep[0]
+	for _, pt := range sweep[1:] {
+		if pt.Cycles < best.Cycles {
+			best = pt
 		}
-		c.PredictCycles = pc
 	}
+	c.BaselineCycles = sweep[warpsPerCTA-1].Cycles
+	c.OracleCycles, c.OracleWarps = best.Cycles, best.L1Warps
+	c.PredictCycles = sweep[predictWarps-1].Cycles
 	return c, nil
 }

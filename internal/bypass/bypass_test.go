@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/runner"
 )
 
 func TestOptimalWarpsFormula(t *testing.T) {
@@ -81,7 +82,7 @@ func TestOracleFindsMinimum(t *testing.T) {
 
 func TestCompareNormalization(t *testing.T) {
 	cost := map[int]int64{1: 400, 2: 500, 3: 600, 4: 1000}
-	c, err := Compare("app", "kepler", gpu.KeplerK40c(), 4, 2, func(k int) (int64, error) {
+	c, err := Compare("app", "kepler", gpu.KeplerK40c(), 4, 2, nil, func(k int) (int64, error) {
 		return cost[k], nil
 	})
 	if err != nil {
@@ -100,19 +101,54 @@ func TestCompareNormalization(t *testing.T) {
 
 func TestComparePredictEqualsBaseline(t *testing.T) {
 	calls := 0
-	c, err := Compare("app", "kepler", gpu.KeplerK40c(), 2, 2, func(k int) (int64, error) {
+	c, err := Compare("app", "kepler", gpu.KeplerK40c(), 2, 2, nil, func(k int) (int64, error) {
 		calls++
 		return int64(100 * k), nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// predictWarps == warpsPerCTA reuses the baseline run.
+	// predictWarps == warpsPerCTA reads the baseline sweep point.
 	if c.PredictCycles != c.BaselineCycles {
 		t.Errorf("prediction = %d, baseline = %d", c.PredictCycles, c.BaselineCycles)
 	}
-	if calls != 3 { // baseline + oracle k=1,2
-		t.Errorf("runner calls = %d, want 3", calls)
+	if calls != 2 { // every k exactly once; baseline and prediction reuse the sweep
+		t.Errorf("runner calls = %d, want 2", calls)
+	}
+}
+
+func TestCompareParallelMatchesSerial(t *testing.T) {
+	cost := func(k int) (int64, error) {
+		// Non-monotone curve with a tie (k=2 and k=5) to exercise the
+		// lowest-k tie break under both execution orders.
+		curve := map[int]int64{1: 800, 2: 500, 3: 700, 4: 600, 5: 500, 6: 900, 7: 950, 8: 1000}
+		return curve[k], nil
+	}
+	serial, err := Compare("app", "kepler", gpu.KeplerK40c(), 8, 3, nil, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par, err := Compare("app", "kepler", gpu.KeplerK40c(), 8, 3, runner.New(workers), cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != serial {
+			t.Errorf("workers=%d: parallel %+v != serial %+v", workers, par, serial)
+		}
+	}
+	if serial.OracleWarps != 2 {
+		t.Errorf("oracle tie broke to k=%d, want lowest k=2", serial.OracleWarps)
+	}
+}
+
+func TestCompareRejectsBadPredict(t *testing.T) {
+	run := func(int) (int64, error) { return 1, nil }
+	if _, err := Compare("a", "k", gpu.KeplerK40c(), 4, 0, nil, run); err == nil {
+		t.Error("Compare accepted predictWarps = 0")
+	}
+	if _, err := Compare("a", "k", gpu.KeplerK40c(), 4, 5, nil, run); err == nil {
+		t.Error("Compare accepted predictWarps > warpsPerCTA")
 	}
 }
 

@@ -7,9 +7,17 @@
 // Each experiment has a data function (returning structured results, used
 // by the tests and benchmarks) and a Write function that renders the
 // paper's presentation of it.
+//
+// Every (app × architecture × analysis) cell and every bypass sweep point
+// is an independent, fully deterministic simulation with its own
+// gpu.Device and listener, so all data functions fan their runs out on a
+// runner.Pool and reassemble the results in deterministic order. Passing
+// a nil pool runs everything serially, inline; the parallel paths are
+// guaranteed (and tested) byte-identical to it.
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -21,13 +29,15 @@ import (
 	"cudaadvisor/internal/profiler"
 	"cudaadvisor/internal/report"
 	"cudaadvisor/internal/rt"
+	"cudaadvisor/internal/runner"
 )
 
 // DeviceMemBytes sizes the simulated global memory for every run.
 const DeviceMemBytes = 512 << 20
 
 // Profile runs one application instrumented under a fresh profiler on the
-// given architecture and returns the profiler.
+// given architecture and returns the profiler. Every call builds its own
+// module, device and profiler, so concurrent calls share nothing.
 func Profile(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale int) (*profiler.Profiler, error) {
 	prog, err := app.Instrumented(opts)
 	if err != nil {
@@ -73,22 +83,29 @@ func MergedBranchDiv(p *profiler.Profiler) *analysis.BranchDivResult {
 var Figure4Apps = []string{"backprop", "hotspot", "lavaMD", "nw", "srad_v2", "bicg", "syrk"}
 
 // Figure4 computes the reuse-distance profiles (element-based model,
-// Kepler only — reuse distance is machine-independent, Section 4.2-A).
-func Figure4(scale int) (map[string]*analysis.ReuseResult, error) {
-	out := make(map[string]*analysis.ReuseResult, len(Figure4Apps))
-	for _, name := range Figure4Apps {
-		p, err := Profile(apps.ByName(name), gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+// Kepler only — reuse distance is machine-independent, Section 4.2-A),
+// one pool job per application.
+func Figure4(pool *runner.Pool, scale int) (map[string]*analysis.ReuseResult, error) {
+	res, err := runner.Map(pool, len(Figure4Apps), func(i int) (*analysis.ReuseResult, error) {
+		p, err := Profile(apps.ByName(Figure4Apps[i]), gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
 		if err != nil {
 			return nil, err
 		}
-		out[name] = MergedReuse(p, analysis.DefaultElementReuse())
+		return MergedReuse(p, analysis.DefaultElementReuse()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*analysis.ReuseResult, len(Figure4Apps))
+	for i, name := range Figure4Apps {
+		out[name] = res[i]
 	}
 	return out, nil
 }
 
 // WriteFigure4 renders Figure 4.
-func WriteFigure4(w io.Writer, scale int) error {
-	res, err := Figure4(scale)
+func WriteFigure4(w io.Writer, pool *runner.Pool, scale int) error {
+	res, err := Figure4(pool, scale)
 	if err != nil {
 		return err
 	}
@@ -100,52 +117,74 @@ func WriteFigure4(w io.Writer, scale int) error {
 }
 
 // Figure5 computes the memory-divergence distributions for one
-// architecture (Kepler: 128 B lines; Pascal: 32 B lines), all ten apps.
-func Figure5(cfg gpu.ArchConfig, scale int) (map[string]*analysis.MemDivResult, error) {
-	out := make(map[string]*analysis.MemDivResult)
-	for _, a := range apps.InTableOrder() {
-		p, err := Profile(a, cfg, instrument.Options{Memory: true}, scale)
+// architecture (Kepler: 128 B lines; Pascal: 32 B lines), all ten apps,
+// one pool job per application.
+func Figure5(pool *runner.Pool, cfg gpu.ArchConfig, scale int) (map[string]*analysis.MemDivResult, error) {
+	order := apps.InTableOrder()
+	res, err := runner.Map(pool, len(order), func(i int) (*analysis.MemDivResult, error) {
+		p, err := Profile(order[i], cfg, instrument.Options{Memory: true}, scale)
 		if err != nil {
 			return nil, err
 		}
-		out[a.Name] = MergedMemDiv(p, cfg.L1LineSize)
+		return MergedMemDiv(p, cfg.L1LineSize), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*analysis.MemDivResult, len(order))
+	for i, a := range order {
+		out[a.Name] = res[i]
 	}
 	return out, nil
 }
 
-// WriteFigure5 renders both panels of Figure 5.
-func WriteFigure5(w io.Writer, scale int) error {
-	for _, cfg := range []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()} {
-		res, err := Figure5(cfg, scale)
+// WriteFigure5 renders both panels of Figure 5. The two architecture
+// panels run concurrently (each fanning its apps out on the pool) into
+// per-panel buffers that are emitted in paper order.
+func WriteFigure5(w io.Writer, pool *runner.Pool, scale int) error {
+	cfgs := []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()}
+	bufs := make([]bytes.Buffer, len(cfgs))
+	err := runner.Concurrent(pool, len(cfgs), func(i int) error {
+		cfg := cfgs[i]
+		res, err := Figure5(pool, cfg, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "=== Figure 5: memory divergence on %s (%d B cache lines) ===\n",
+		fmt.Fprintf(&bufs[i], "=== Figure 5: memory divergence on %s (%d B cache lines) ===\n",
 			cfg.Name, cfg.L1LineSize)
 		for _, a := range apps.InTableOrder() {
-			report.MemDivDistribution(w, a.Name, res[a.Name])
+			report.MemDivDistribution(&bufs[i], a.Name, res[a.Name])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
 // Table3 computes the branch-divergence table (architecture-independent;
-// run on the Pascal configuration as in the paper).
-func Table3(scale int) ([]report.BranchRow, error) {
-	var rows []report.BranchRow
-	for _, a := range apps.InTableOrder() {
-		p, err := Profile(a, gpu.PascalP100(), instrument.Options{Blocks: true}, scale)
+// run on the Pascal configuration as in the paper), one pool job per
+// application.
+func Table3(pool *runner.Pool, scale int) ([]report.BranchRow, error) {
+	order := apps.InTableOrder()
+	return runner.Map(pool, len(order), func(i int) (report.BranchRow, error) {
+		p, err := Profile(order[i], gpu.PascalP100(), instrument.Options{Blocks: true}, scale)
 		if err != nil {
-			return nil, err
+			return report.BranchRow{}, err
 		}
-		rows = append(rows, report.BranchRow{App: a.Name, Result: MergedBranchDiv(p)})
-	}
-	return rows, nil
+		return report.BranchRow{App: order[i].Name, Result: MergedBranchDiv(p)}, nil
+	})
 }
 
 // WriteTable3 renders Table 3.
-func WriteTable3(w io.Writer, scale int) error {
-	rows, err := Table3(scale)
+func WriteTable3(w io.Writer, pool *runner.Pool, scale int) error {
+	rows, err := Table3(pool, scale)
 	if err != nil {
 		return err
 	}
@@ -176,37 +215,67 @@ func runCycles(app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (int64, er
 // the per-CTA reuse and divergence profiles are scale-invariant.
 const BypassRunScale = 2
 
+// timingCTAs runs the app natively at the given scale with no bypassing
+// and returns the largest launched grid in CTAs: the measured #CTAs input
+// of the Eq. (1) capacity model. Measuring the actual timing-run launch
+// replaces the old nCTAs*BypassRunScale² extrapolation, which assumed
+// every grid scales quadratically with the input scale and so fed the
+// model a 2× inflated CTA count for 1D-grid applications (bfs).
+func timingCTAs(app *apps.App, cfg gpu.ArchConfig, scale int) (int, error) {
+	prog, err := app.Native()
+	if err != nil {
+		return 0, err
+	}
+	counter := rt.NewCycleCounter()
+	ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
+	if err := app.Run(ctx, prog, scale); err != nil {
+		return 0, err
+	}
+	return counter.MaxCTAs, nil
+}
+
 // BypassStudy runs the Figures 6/7 comparison for one architecture
 // configuration over the bypass-favorable applications: baseline (no
 // bypassing), exhaustive oracle, and the Eq. (1) prediction driven by the
-// tool's own reuse-distance and memory-divergence outputs.
-func BypassStudy(cfg gpu.ArchConfig, scale int) ([]bypass.Comparison, error) {
-	var out []bypass.Comparison
+// tool's own reuse-distance and memory-divergence outputs. Each
+// application is a coordinator task; its profiling run, CTA measurement
+// and sweep points are gated pool jobs, and the rows are assembled in
+// table order.
+func BypassStudy(pool *runner.Pool, cfg gpu.ArchConfig, scale int) ([]bypass.Comparison, error) {
+	var favs []*apps.App
 	for _, a := range apps.InTableOrder() {
-		if !a.BypassFavorable {
-			continue
+		if a.BypassFavorable {
+			favs = append(favs, a)
 		}
+	}
+	out := make([]bypass.Comparison, len(favs))
+	err := runner.Concurrent(pool, len(favs), func(i int) error {
+		a := favs[i]
 		// Step 1: profile to obtain the model inputs (Section 4.2-D uses
 		// the memory tracing of case studies A and B).
-		p, err := Profile(a, cfg, instrument.Options{Memory: true}, scale)
+		p, err := runner.Do(pool, func() (*profiler.Profiler, error) {
+			return Profile(a, cfg, instrument.Options{Memory: true}, scale)
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rdLine := MergedReuse(p, analysis.LineReuse(cfg.L1LineSize))
 		rdElem := MergedReuse(p, analysis.DefaultElementReuse())
 		md := MergedMemDiv(p, cfg.L1LineSize)
-		nCTAs := 0
-		for _, kp := range p.Kernels {
-			if kp.Result != nil && kp.Result.CTAs > nCTAs {
-				nCTAs = kp.Result.CTAs
-			}
+
+		// Step 2: measure the timing-run grid and form the prediction.
+		nCTAs, err := runner.Do(pool, func() (int, error) {
+			return timingCTAs(a, cfg, scale*BypassRunScale)
+		})
+		if err != nil {
+			return err
 		}
-		// The timing runs use BypassRunScale-times the profiled grid.
-		ctasPerSM := bypass.ResidentCTAs(cfg, a.WarpsPerCTA, nCTAs*BypassRunScale*BypassRunScale)
+		ctasPerSM := bypass.ResidentCTAs(cfg, a.WarpsPerCTA, nCTAs)
 		predict := bypass.PredictFromProfiles(cfg, rdLine, rdElem, md, a.WarpsPerCTA, ctasPerSM)
 
-		// Step 2: measure baseline / oracle / prediction on native code.
-		cmp, err := bypass.Compare(a.Name, cfg.Name, cfg, a.WarpsPerCTA, predict,
+		// Step 3: measure baseline / oracle / prediction on native code;
+		// the sweep fans out on the same pool.
+		cmp, err := bypass.Compare(a.Name, cfg.Name, cfg, a.WarpsPerCTA, predict, pool,
 			func(k int) (int64, error) {
 				l1Warps := k
 				if k >= a.WarpsPerCTA {
@@ -215,9 +284,13 @@ func BypassStudy(cfg gpu.ArchConfig, scale int) ([]bypass.Comparison, error) {
 				return runCycles(a, cfg, l1Warps, scale*BypassRunScale)
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, cmp)
+		out[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -230,24 +303,36 @@ func Figure6Configs() []gpu.ArchConfig {
 	}
 }
 
-// WriteFigure6 renders Figure 6 (Kepler, 16 KB and 48 KB L1).
-func WriteFigure6(w io.Writer, scale int) error {
-	for _, cfg := range Figure6Configs() {
-		rows, err := BypassStudy(cfg, scale)
+// WriteFigure6 renders Figure 6 (Kepler, 16 KB and 48 KB L1); the two L1
+// splits run concurrently into ordered buffers.
+func WriteFigure6(w io.Writer, pool *runner.Pool, scale int) error {
+	cfgs := Figure6Configs()
+	bufs := make([]bytes.Buffer, len(cfgs))
+	err := runner.Concurrent(pool, len(cfgs), func(i int) error {
+		rows, err := BypassStudy(pool, cfgs[i], scale)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "=== Figure 6: horizontal cache bypassing on %s, %d KB L1 (normalized time) ===\n",
-			cfg.Name, cfg.L1Bytes/1024)
-		report.BypassComparison(w, rows)
+		fmt.Fprintf(&bufs[i], "=== Figure 6: horizontal cache bypassing on %s, %d KB L1 (normalized time) ===\n",
+			cfgs[i].Name, cfgs[i].L1Bytes/1024)
+		report.BypassComparison(&bufs[i], rows)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // WriteFigure7 renders Figure 7 (Pascal, 24 KB unified cache).
-func WriteFigure7(w io.Writer, scale int) error {
+func WriteFigure7(w io.Writer, pool *runner.Pool, scale int) error {
 	cfg := gpu.PascalP100()
-	rows, err := BypassStudy(cfg, scale)
+	rows, err := BypassStudy(pool, cfg, scale)
 	if err != nil {
 		return err
 	}
@@ -262,49 +347,53 @@ func WriteFigure7(w io.Writer, scale int) error {
 // the ratio of kernel-execution wall time between the instrumented and
 // native builds on the same simulator (the paper measures "runtime
 // overheads of running GPU kernels").
-func Overhead(cfg gpu.ArchConfig, scale int) ([]report.OverheadRow, error) {
+//
+// Program construction parallelizes freely, but the timed native and
+// instrumented runs of each app execute inside runner.Exclusive so that
+// concurrent siblings cannot inflate either side of the ratio.
+func Overhead(pool *runner.Pool, cfg gpu.ArchConfig, scale int) ([]report.OverheadRow, error) {
 	const reps = 3 // repetitions to amortize wall-clock jitter on small kernels
-	var rows []report.OverheadRow
-	for _, a := range apps.InTableOrder() {
+	order := apps.InTableOrder()
+	return runner.Map(pool, len(order), func(i int) (report.OverheadRow, error) {
+		a := order[i]
 		native, err := a.Native()
 		if err != nil {
-			return nil, err
+			return report.OverheadRow{}, err
 		}
-		nativeSec := 0.0
-		for r := 0; r < reps; r++ {
-			ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), nil)
-			if err := a.Run(ctx, native, scale); err != nil {
-				return nil, err
-			}
-			nativeSec += ctx.KernelTime.Seconds()
-		}
-
 		prog, err := a.Instrumented(instrument.MemoryAndBlocks())
 		if err != nil {
-			return nil, err
+			return report.OverheadRow{}, err
 		}
-		profiledSec := 0.0
-		for r := 0; r < reps; r++ {
-			p := profiler.New()
-			ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), p)
-			if err := a.Run(ctx, prog, scale); err != nil {
-				return nil, err
+		return runner.Exclusive(pool, func() (report.OverheadRow, error) {
+			nativeSec := 0.0
+			for r := 0; r < reps; r++ {
+				ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), nil)
+				if err := a.Run(ctx, native, scale); err != nil {
+					return report.OverheadRow{}, err
+				}
+				nativeSec += ctx.KernelTime.Seconds()
 			}
-			profiledSec += ctx.KernelTime.Seconds()
-		}
-
-		rows = append(rows, report.OverheadRow{
-			App: a.Name, Arch: cfg.Name, Native: nativeSec, Profiled: profiledSec,
+			profiledSec := 0.0
+			for r := 0; r < reps; r++ {
+				p := profiler.New()
+				ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), p)
+				if err := a.Run(ctx, prog, scale); err != nil {
+					return report.OverheadRow{}, err
+				}
+				profiledSec += ctx.KernelTime.Seconds()
+			}
+			return report.OverheadRow{
+				App: a.Name, Arch: cfg.Name, Native: nativeSec, Profiled: profiledSec,
+			}, nil
 		})
-	}
-	return rows, nil
+	})
 }
 
 // WriteFigure10 renders Figure 10 for both architectures.
-func WriteFigure10(w io.Writer, scale int) error {
+func WriteFigure10(w io.Writer, pool *runner.Pool, scale int) error {
 	fmt.Fprintln(w, "=== Figure 10: overhead of memory and control-flow instrumentation ===")
 	for _, cfg := range []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()} {
-		rows, err := Overhead(cfg, scale)
+		rows, err := Overhead(pool, cfg, scale)
 		if err != nil {
 			return err
 		}
@@ -316,9 +405,11 @@ func WriteFigure10(w io.Writer, scale int) error {
 // WriteCodeDataCentric renders the Figures 8/9 debugging views for bfs:
 // the most divergent source sites with full host-to-device call paths,
 // and the data-flow provenance of the object behind the worst site.
-func WriteCodeDataCentric(w io.Writer, scale int) error {
+func WriteCodeDataCentric(w io.Writer, pool *runner.Pool, scale int) error {
 	a := apps.ByName("bfs")
-	p, err := Profile(a, gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+	p, err := runner.Do(pool, func() (*profiler.Profiler, error) {
+		return Profile(a, gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+	})
 	if err != nil {
 		return err
 	}
@@ -327,25 +418,29 @@ func WriteCodeDataCentric(w io.Writer, scale int) error {
 	report.CodeCentric(w, p, md, 3)
 
 	fmt.Fprintln(w, "=== Figure 9: data-centric view (object behind the worst site) ===")
-	if sites := md.Sites(); len(sites) > 0 {
-		// Find a memory record at the worst site and chase its address.
-		worst := sites[0]
-		for _, kp := range p.Kernels {
-			for i := range kp.Trace.Mem {
-				m := &kp.Trace.Mem[i]
-				if kp.Trace.Locs.Loc(m.Loc) == worst.Loc {
-					lane := 0
-					for l := 0; l < 32; l++ {
-						if m.Mask&(1<<uint(l)) != 0 {
-							lane = l
-							break
-						}
-					}
-					report.DataCentric(w, p, m.Addrs[lane])
+	sites := md.Sites()
+	if len(sites) == 0 {
+		fmt.Fprintln(w, "(no memory-divergent sites recorded)")
+		return nil
+	}
+	// Find a memory record at the worst site and chase its address.
+	// Records whose active mask is empty carry no lane addresses and are
+	// skipped rather than misattributed to lane 0.
+	worst := sites[0]
+	for _, kp := range p.Kernels {
+		for i := range kp.Trace.Mem {
+			m := &kp.Trace.Mem[i]
+			if kp.Trace.Locs.Loc(m.Loc) != worst.Loc || m.Mask == 0 {
+				continue
+			}
+			for l := 0; l < 32; l++ {
+				if m.Mask&(1<<uint(l)) != 0 {
+					report.DataCentric(w, p, m.Addrs[l])
 					return nil
 				}
 			}
 		}
 	}
+	fmt.Fprintf(w, "(no trace record with active lanes matches the worst site %s)\n", worst.Loc)
 	return nil
 }

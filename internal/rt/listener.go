@@ -39,6 +39,10 @@ type CycleCounter struct {
 	NopListener
 	Cycles   int64
 	Launches int
+	// MaxCTAs is the largest grid (in CTAs) launched in this run — the
+	// measured #CTAs input of the bypass capacity model, taken from the
+	// actual launch rather than extrapolated from a smaller one.
+	MaxCTAs int
 	// PerKernel accumulates cycles by kernel name.
 	PerKernel map[string]int64
 }
@@ -52,5 +56,8 @@ func NewCycleCounter() *CycleCounter {
 func (c *CycleCounter) KernelEnd(info *LaunchInfo, res *gpu.LaunchResult) {
 	c.Cycles += res.Cycles
 	c.Launches++
+	if res.CTAs > c.MaxCTAs {
+		c.MaxCTAs = res.CTAs
+	}
 	c.PerKernel[info.Kernel] += res.Cycles
 }

@@ -1,0 +1,173 @@
+// Package runner is the parallel experiment runner: a bounded worker
+// pool that fans out independent simulator runs and reassembles their
+// results in deterministic order.
+//
+// Every evaluation cell (app × architecture × analysis) and every oracle
+// sweep point is an independent, bit-for-bit deterministic simulation
+// (DESIGN.md "Scheduling determinism"): each run owns a fresh gpu.Device
+// and listener, so nothing is shared between jobs. The runner exploits
+// that independence for wall-clock speedup while guaranteeing that the
+// assembled output is byte-identical to the serial path:
+//
+//   - results are collected by job index, never by completion order;
+//   - on failure the error of the lowest-index failing job is returned,
+//     which is the same error the serial path would surface first;
+//   - a nil *Pool degrades every entry point to inline serial execution,
+//     which is the reference the parallel paths are tested against.
+//
+// Two layers of fan-out compose without deadlock:
+//
+//   - Map and Do gate leaf work (whole simulator runs) on the pool's
+//     semaphore, bounding CPU-heavy concurrency to the worker count;
+//   - Concurrent fans out coordinator tasks (a figure, an app's
+//     three-way bypass comparison) on plain goroutines that hold no
+//     worker slot while they wait, so coordinators may freely submit
+//     leaf work to the same pool.
+//
+// Leaf functions must not call Map or Do themselves: a leaf holds a
+// worker slot for its whole duration, and nesting gated work inside
+// gated work can exhaust the pool and deadlock at small -j. Route nested
+// fan-out through Concurrent instead.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero value is not usable; call New.
+// A nil *Pool is valid everywhere and means "run serially, inline" — the
+// reference path for the byte-identical guarantee.
+type Pool struct {
+	sem chan struct{}
+
+	// timing serializes Exclusive regions (wall-clock measurements)
+	// against each other so concurrent jobs do not distort them.
+	timing sync.Mutex
+}
+
+// New returns a pool of the given number of workers. workers <= 0 selects
+// runtime.GOMAXPROCS(0), the -j default. The count is clamped to
+// GOMAXPROCS: every job is a CPU-bound simulator run that never blocks,
+// so workers beyond the available parallelism cannot overlap any more
+// work and only add GC and cache pressure (measured 1.7–7x slowdowns
+// when oversubscribing a single-core machine).
+func New(workers int) *Pool {
+	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
+		workers = max
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers reports the concurrency bound: the worker count, or 1 for the
+// nil (serial) pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.sem)
+}
+
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }
+
+// firstError returns the lowest-index non-nil error, matching what the
+// serial path would have surfaced first.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(0) … fn(n-1) as gated leaf jobs and returns the results in
+// index order. With a nil pool the jobs run inline, serially, stopping at
+// the first error; with a live pool every job runs and the lowest-index
+// error is returned — the same error value either way, since the serial
+// path's first error is the lowest-index one. fn must be safe for
+// concurrent use when the pool is non-nil.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if p == nil {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do runs one gated leaf job on the pool (inline for a nil pool). Use it
+// from Concurrent coordinators for leaf work that is not a natural Map.
+func Do[T any](p *Pool, fn func() (T, error)) (T, error) {
+	if p == nil {
+		return fn()
+	}
+	p.acquire()
+	defer p.release()
+	return fn()
+}
+
+// Concurrent runs fn(0) … fn(n-1) as coordinator tasks: plain goroutines
+// that hold no worker slot, so each may submit gated leaf work (Map, Do)
+// to the same pool without risking slot-exhaustion deadlock. Results must
+// be written by index into storage owned by the caller; Concurrent only
+// joins and returns the lowest-index error. A nil pool runs the tasks
+// inline, serially.
+func Concurrent(p *Pool, n int, fn func(i int) error) error {
+	if p == nil {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// Exclusive runs fn while holding the pool's timing lock, serializing it
+// against every other Exclusive region on the same pool. Wall-clock
+// measurements (the Figure 10 overhead study) run here so that parallel
+// siblings do not inflate each other's measured time. It does not pause
+// unrelated pool work — callers that need a quiet machine should run the
+// measuring experiment on its own. A nil pool runs fn directly.
+func Exclusive[T any](p *Pool, fn func() (T, error)) (T, error) {
+	if p == nil {
+		return fn()
+	}
+	p.timing.Lock()
+	defer p.timing.Unlock()
+	return fn()
+}
