@@ -7,11 +7,22 @@
 //
 //	advisor-opt [-passes list] [-mem] [-blocks] [-arith] [file.mir]
 //
-// With no file, reads from stdin. -passes is a comma-separated list of
-// utility passes (verify, constfold, dce) run before instrumentation;
-// -mem/-blocks/-arith select the optional instrumentation categories
-// (the mandatory call/return instrumentation is always inserted when any
-// category is enabled).
+// With no file, reads from stdin. -passes is a comma-separated pass
+// list run before instrumentation:
+//
+//	verify       type-check the module (default)
+//	constfold    fold constant expressions
+//	dce          remove dead pure instructions
+//	lint         all three static-advisor checkers
+//	lint-branch  report thread-varying conditional branches
+//	lint-mem     classify global-memory accesses (uniform/coalesced/
+//	             strided/divergent)
+//	lint-barrier report barriers under divergent control flow
+//
+// The lint passes are analyses: they write findings to stdout and leave
+// the module unchanged. -mem/-blocks/-arith select the optional
+// instrumentation categories (the mandatory call/return instrumentation
+// is always inserted when any category is enabled).
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"cudaadvisor/internal/instrument"
@@ -27,51 +39,89 @@ import (
 	"cudaadvisor/internal/pass"
 )
 
+// passRegistry maps -passes names to constructors. Lint passes write
+// their findings to out.
+func passRegistry(out io.Writer) map[string]func() pass.Pass {
+	return map[string]func() pass.Pass{
+		"verify":       func() pass.Pass { return pass.VerifyPass{} },
+		"constfold":    pass.ConstFold,
+		"dce":          pass.DCE,
+		"lint":         func() pass.Pass { return pass.Lint(out) },
+		"lint-branch":  func() pass.Pass { return pass.LintBranches(out) },
+		"lint-mem":     func() pass.Pass { return pass.LintMemory(out) },
+		"lint-barrier": func() pass.Pass { return pass.LintBarriers(out) },
+	}
+}
+
+func passNames(reg map[string]func() pass.Pass) []string {
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
-	passList := flag.String("passes", "verify", "comma-separated passes: verify, constfold, dce")
-	mem := flag.Bool("mem", false, "instrument memory operations")
-	blocks := flag.Bool("blocks", false, "instrument basic-block entries")
-	arith := flag.Bool("arith", false, "instrument arithmetic operations")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("advisor-opt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	passList := fs.String("passes", "verify",
+		"comma-separated passes: verify, constfold, dce, lint, lint-branch, lint-mem, lint-barrier")
+	mem := fs.Bool("mem", false, "instrument memory operations")
+	blocks := fs.Bool("blocks", false, "instrument basic-block entries")
+	arith := fs.Bool("arith", false, "instrument arithmetic operations")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "advisor-opt:", err)
+		return 1
+	}
 
 	var src []byte
 	var name string
 	var err error
-	switch flag.NArg() {
+	switch fs.NArg() {
 	case 0:
 		name = "<stdin>"
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	case 1:
-		name = flag.Arg(0)
+		name = fs.Arg(0)
 		src, err = os.ReadFile(name)
 	default:
-		fmt.Fprintln(os.Stderr, "advisor-opt: at most one input file")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "advisor-opt: at most one input file")
+		return 2
 	}
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	m, err := irtext.Parse(name, string(src))
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
+	reg := passRegistry(stdout)
 	pm := pass.NewManager()
 	for _, p := range strings.Split(*passList, ",") {
-		switch strings.TrimSpace(p) {
-		case "", "verify":
-			pm.Add(pass.VerifyPass{})
-		case "constfold":
-			pm.Add(pass.ConstFold())
-		case "dce":
-			pm.Add(pass.DCE())
-		default:
-			fatal(fmt.Errorf("unknown pass %q", p))
+		p = strings.TrimSpace(p)
+		if p == "" {
+			p = "verify"
 		}
+		mk, ok := reg[p]
+		if !ok {
+			return fatal(fmt.Errorf("unknown pass %q (valid: %s)",
+				p, strings.Join(passNames(reg), ", ")))
+		}
+		pm.Add(mk())
 	}
 	if err := pm.Run(m); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	if *mem || *blocks || *arith {
@@ -79,16 +129,12 @@ func main() {
 			Memory: *mem, Blocks: *blocks, Arith: *arith,
 		})
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "instrumented: %d functions, %d blocks in tables\n",
+		fmt.Fprintf(stderr, "instrumented: %d functions, %d blocks in tables\n",
 			len(prog.Tables.Funcs), len(prog.Tables.Blocks))
 	}
 
-	fmt.Print(ir.Print(m))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "advisor-opt:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, ir.Print(m))
+	return 0
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got\n%s\n--- want\n%s", path, got, want)
+	}
+}
+
+// The full opt pipeline over the sample kernel: constant folding, dead
+// code elimination, the three lint checkers, and the module print-back.
+func TestRunGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "verify,constfold,dce,lint", "testdata/sample.mir"},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	checkGolden(t, "sample.golden", stdout.Bytes())
+}
+
+// Parse→print→parse→print must be a fixed point.
+func TestPrintRoundTrip(t *testing.T) {
+	var out1, errBuf bytes.Buffer
+	if code := run([]string{"testdata/sample.mir"}, strings.NewReader(""), &out1, &errBuf); code != 0 {
+		t.Fatalf("first run: exit %d, stderr:\n%s", code, errBuf.String())
+	}
+	var out2 bytes.Buffer
+	if code := run([]string{}, bytes.NewReader(out1.Bytes()), &out2, &errBuf); code != 0 {
+		t.Fatalf("round trip: exit %d, stderr:\n%s", code, errBuf.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("print not a fixed point:\n--- first\n%s\n--- second\n%s", out1.String(), out2.String())
+	}
+}
+
+func TestUnknownPassListsValid(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "bogus", "testdata/sample.mir"},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	want := `unknown pass "bogus" (valid: constfold, dce, lint, lint-barrier, lint-branch, lint-mem, verify)`
+	if !strings.Contains(stderr.String(), want) {
+		t.Errorf("stderr = %q, want it to contain %q", stderr.String(), want)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	cudaadvisor apps                      list the benchmark applications
 //	cudaadvisor profile <app> [flags]     run one app under the profiler
+//	cudaadvisor lint <app|file.mir>       static divergence analysis
 //	cudaadvisor figure4|figure5|table3    regenerate an experiment
 //	cudaadvisor figure6|figure7|figure10
 //	cudaadvisor debugviews                Figures 8/9 (code/data-centric)
@@ -24,6 +25,11 @@
 //	-arch kepler|pascal    architecture (default kepler)
 //	-scale N               input scale factor (default 1)
 //	-mode rd|md|bd         analysis to print (default all three)
+//
+// lint runs the static advisor (no simulation): the uniformity analysis
+// predicts divergent branches, classifies global-memory accesses, and
+// flags barriers under divergent control flow. Its argument is a
+// benchmark name from 'cudaadvisor apps' or a path to a .mir file.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/apps"
@@ -39,52 +46,65 @@ import (
 	"cudaadvisor/internal/experiments"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/irtext"
 	"cudaadvisor/internal/report"
 	"cudaadvisor/internal/runner"
+	"cudaadvisor/internal/staticadvisor"
 )
 
 func main() {
-	jFlag := flag.Int("j", 0, "parallel simulator runs (0 = GOMAXPROCS)")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cudaadvisor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jFlag := fs.Int("j", 0, "parallel simulator runs (0 = GOMAXPROCS)")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
 	}
 	pool := runner.New(*jFlag)
-	cmd, args := flag.Arg(0), flag.Args()[1:]
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	var err error
 	switch cmd {
 	case "apps":
 		for _, a := range apps.InTableOrder() {
-			fmt.Printf("%-10s %-9s warps/CTA=%-3d %s\n", a.Name, a.Suite, a.WarpsPerCTA, a.Description)
+			fmt.Fprintf(stdout, "%-10s %-9s warps/CTA=%-3d %s\n", a.Name, a.Suite, a.WarpsPerCTA, a.Description)
 		}
 	case "profile":
-		err = profileCmd(args)
+		err = profileCmd(rest, stdout, stderr)
+	case "lint":
+		err = lintCmd(rest, stdout)
 	case "figure4":
-		err = experiments.WriteFigure4(os.Stdout, pool, 1)
+		err = experiments.WriteFigure4(stdout, pool, 1)
 	case "figure5":
-		err = experiments.WriteFigure5(os.Stdout, pool, 1)
+		err = experiments.WriteFigure5(stdout, pool, 1)
 	case "table3":
-		err = experiments.WriteTable3(os.Stdout, pool, 1)
+		err = experiments.WriteTable3(stdout, pool, 1)
 	case "figure6":
-		err = experiments.WriteFigure6(os.Stdout, pool, 1)
+		err = experiments.WriteFigure6(stdout, pool, 1)
 	case "figure7":
-		err = experiments.WriteFigure7(os.Stdout, pool, 1)
+		err = experiments.WriteFigure7(stdout, pool, 1)
 	case "figure10":
-		err = experiments.WriteFigure10(os.Stdout, pool, 1)
+		err = experiments.WriteFigure10(stdout, pool, 1)
 	case "debugviews":
-		err = experiments.WriteCodeDataCentric(os.Stdout, pool, 1)
+		err = experiments.WriteCodeDataCentric(stdout, pool, 1)
 	case "all":
-		err = allCmd(pool)
+		err = allCmd(pool, stdout)
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cudaadvisor:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "cudaadvisor:", err)
+		return 1
 	}
+	return 0
 }
 
 // allCmd regenerates every table and figure. The analysis experiments run
@@ -92,7 +112,7 @@ func main() {
 // gated on the shared pool) and are printed in paper order; the
 // wall-clock overhead study (Figure 10) runs afterwards, alone, so the
 // concurrent figures cannot distort its timing.
-func allCmd(pool *runner.Pool) error {
+func allCmd(pool *runner.Pool, stdout io.Writer) error {
 	figures := []func(w io.Writer) error{
 		func(w io.Writer) error { return experiments.WriteFigure4(w, pool, 1) },
 		func(w io.Writer) error { return experiments.WriteFigure5(w, pool, 1) },
@@ -109,15 +129,15 @@ func allCmd(pool *runner.Pool) error {
 		return err
 	}
 	for i := range bufs {
-		if _, err := os.Stdout.Write(bufs[i].Bytes()); err != nil {
+		if _, err := stdout.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
 	}
-	return experiments.WriteFigure10(os.Stdout, pool, 1)
+	return experiments.WriteFigure10(stdout, pool, 1)
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cudaadvisor [-j N] <command>
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: cudaadvisor [-j N] <command>
 
 global flags:
   -j N         parallel simulator runs (default 0 = GOMAXPROCS); every
@@ -126,6 +146,7 @@ global flags:
 commands:
   apps         list the benchmark applications (Table 2)
   profile      profile one application: cudaadvisor profile <app> [-arch kepler|pascal] [-scale N] [-mode rd|md|bd]
+  lint         static divergence analysis (no simulation): cudaadvisor lint <app|file.mir>
   figure4      reuse distance histograms
   figure5      memory divergence distributions (Kepler + Pascal)
   table3       branch divergence table
@@ -136,8 +157,46 @@ commands:
   all          everything above (figures run concurrently; figure10 last, alone)`)
 }
 
-func profileCmd(args []string) error {
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+// lintCmd runs the static advisor over a benchmark application's device
+// code or a textual IR file.
+func lintCmd(args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("lint wants one application name or .mir file (see 'cudaadvisor apps')")
+	}
+	target := args[0]
+	app := apps.ByName(target)
+	var res *staticadvisor.ModuleResult
+	switch {
+	case app != nil:
+		m, err := app.Module()
+		if err != nil {
+			return err
+		}
+		if res, err = staticadvisor.Analyze(m); err != nil {
+			return err
+		}
+	case strings.HasSuffix(target, ".mir"):
+		src, err := os.ReadFile(target)
+		if err != nil {
+			return err
+		}
+		m, err := irtext.Parse(target, string(src))
+		if err != nil {
+			return err
+		}
+		if res, err = staticadvisor.Analyze(m); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown application %q (see 'cudaadvisor apps', or pass a .mir file)", target)
+	}
+	report.StaticLint(stdout, res)
+	return nil
+}
+
+func profileCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	arch := fs.String("arch", "kepler", "architecture: kepler or pascal")
 	scale := fs.Int("scale", 1, "input scale factor")
 	mode := fs.String("mode", "all", "analysis: rd, md, bd, or all")
@@ -170,21 +229,21 @@ func profileCmd(args []string) error {
 		return err
 	}
 
-	fmt.Printf("profiled %s on %s: %d kernel instances\n\n", app.Name, cfg.Name, len(adv.Kernels()))
+	fmt.Fprintf(stdout, "profiled %s on %s: %d kernel instances\n\n", app.Name, cfg.Name, len(adv.Kernels()))
 	if *mode == "rd" || *mode == "all" {
 		rd := adv.ReuseDistance(analysis.DefaultElementReuse())
-		report.ReuseHistogram(os.Stdout, app.Name, rd)
-		fmt.Println()
+		report.ReuseHistogram(stdout, app.Name, rd)
+		fmt.Fprintln(stdout)
 	}
 	if *mode == "md" || *mode == "all" {
-		report.MemDivDistribution(os.Stdout, app.Name, adv.MemDivergence())
-		fmt.Println()
+		report.MemDivDistribution(stdout, app.Name, adv.MemDivergence())
+		fmt.Fprintln(stdout)
 	}
 	if *mode == "bd" || *mode == "all" {
-		adv.WriteBranchDivergenceReport(os.Stdout)
-		fmt.Println()
+		adv.WriteBranchDivergenceReport(stdout)
+		fmt.Fprintln(stdout)
 	}
-	fmt.Println("most memory-divergent sites (code-centric view):")
-	adv.WriteCodeCentric(os.Stdout, 3)
+	fmt.Fprintln(stdout, "most memory-divergent sites (code-centric view):")
+	adv.WriteCodeCentric(stdout, 3)
 	return nil
 }

@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyStructuralErrors covers the verifier's structural error
+// paths: malformed block shapes that Finalize tolerates (the CFG builder
+// skips blocks without a terminator) but Verify must reject.
+func TestVerifyStructuralErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Module
+		want  string
+	}{
+		{
+			name: "unfinalized function",
+			build: func() *Module {
+				b := NewKernel("k")
+				b.Blk("entry").Ret()
+				m := NewModule("test")
+				m.AddFunc(b.Done())
+				// Deliberately no Finalize.
+				return m
+			},
+			want: "func k: not finalized",
+		},
+		{
+			name: "no basic blocks",
+			build: func() *Module {
+				m := NewModule("test")
+				m.AddFunc(&Function{Name: "k", IsKernel: true})
+				if err := m.Finalize(); err != nil {
+					t.Fatalf("Finalize: %v", err)
+				}
+				return m
+			},
+			want: "func k: no basic blocks",
+		},
+		{
+			name: "empty block",
+			build: func() *Module {
+				b := NewKernel("k")
+				b.Blk("entry").Ret()
+				b.Blk("hollow")
+				m, err := BuildModule("test", b.Done())
+				if err != nil {
+					t.Fatalf("BuildModule: %v", err)
+				}
+				return m
+			},
+			want: "func k: block hollow is empty",
+		},
+		{
+			name: "non-terminated block",
+			build: func() *Module {
+				b := NewKernel("k")
+				b.Blk("entry").Mov("x", I32, IntOp(1, I32))
+				m, err := BuildModule("test", b.Done())
+				if err != nil {
+					t.Fatalf("BuildModule: %v", err)
+				}
+				return m
+			},
+			want: "func k: block entry does not end in a terminator",
+		},
+		{
+			name: "terminator mid-block",
+			build: func() *Module {
+				b := NewKernel("k")
+				b.Blk("entry").Ret().Mov("x", I32, IntOp(1, I32)).Ret()
+				m, err := BuildModule("test", b.Done())
+				if err != nil {
+					t.Fatalf("BuildModule: %v", err)
+				}
+				return m
+			},
+			want: `func k: block entry: terminator "ret" mid-block`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Verify(tc.build())
+			if err == nil {
+				t.Fatalf("Verify = nil, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Verify = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifyReportsAllFunctions checks that errors from multiple
+// functions are joined rather than stopping at the first.
+func TestVerifyReportsAllFunctions(t *testing.T) {
+	m := NewModule("test")
+	m.AddFunc(&Function{Name: "a", IsKernel: true})
+	m.AddFunc(&Function{Name: "b", IsKernel: true})
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("Verify = nil, want errors for both functions")
+	}
+	for _, want := range []string{"func a: no basic blocks", "func b: no basic blocks"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Verify = %q, want it to contain %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package pass
+
+import (
+	"io"
+
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/staticadvisor"
+)
+
+// lintPass is an analysis pass: it runs the static advisor over the
+// module and writes one category of findings. It never mutates the
+// module.
+type lintPass struct {
+	name  string
+	write func(w io.Writer, res *staticadvisor.ModuleResult)
+	w     io.Writer
+}
+
+func (p *lintPass) Name() string { return p.name }
+
+func (p *lintPass) Run(m *ir.Module) (bool, error) {
+	res, err := staticadvisor.Analyze(m)
+	if err != nil {
+		return false, err
+	}
+	p.write(p.w, res)
+	return false, nil
+}
+
+// LintBranches reports conditional branches whose condition is
+// thread-varying: the static prediction of Table 3's divergent sites.
+func LintBranches(w io.Writer) Pass {
+	return &lintPass{name: "lint-branch", w: w,
+		write: func(w io.Writer, res *staticadvisor.ModuleResult) {
+			res.WriteBranches(w, "lint-branch")
+		}}
+}
+
+// LintMemory classifies every global-memory access as uniform,
+// coalesced, strided or divergent: the static prediction of the
+// coalescer behaviour the profiler measures for Figure 5.
+func LintMemory(w io.Writer) Pass {
+	return &lintPass{name: "lint-mem", w: w,
+		write: func(w io.Writer, res *staticadvisor.ModuleResult) {
+			res.WriteAccesses(w, "lint-mem")
+		}}
+}
+
+// LintBarriers reports bar instructions reachable under divergent
+// control flow, which the simulator otherwise only surfaces as a
+// runtime "divergent barrier" fault.
+func LintBarriers(w io.Writer) Pass {
+	return &lintPass{name: "lint-barrier", w: w,
+		write: func(w io.Writer, res *staticadvisor.ModuleResult) {
+			res.WriteBarriers(w, "lint-barrier")
+		}}
+}
+
+// Lint runs all three static-advisor checkers.
+func Lint(w io.Writer) Pass {
+	return &lintPass{name: "lint", w: w,
+		write: func(w io.Writer, res *staticadvisor.ModuleResult) {
+			res.WriteBranches(w, "lint-branch")
+			res.WriteAccesses(w, "lint-mem")
+			res.WriteBarriers(w, "lint-barrier")
+		}}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/staticadvisor"
+)
+
+// StaticLint renders the static advisor's module report: per function,
+// the divergence summary, the thread-varying branches, the classified
+// global-memory accesses with predicted lines per warp on both
+// evaluated line sizes, and any barriers under divergent control.
+func StaticLint(w io.Writer, res *staticadvisor.ModuleResult) {
+	fmt.Fprintf(w, "static advisor: module %s\n", res.Module.Name)
+	for _, fr := range res.Funcs {
+		kw := "func"
+		if fr.Fn.IsKernel {
+			kw = "kernel"
+		}
+		fmt.Fprintf(w, "\n%s @%s: %d of %d blocks may execute divergently; %d of %d branches thread-varying\n",
+			kw, fr.Fn.Name, fr.DivergentBlockCount(), len(fr.Fn.Blocks),
+			len(fr.Branches), fr.TotalBranches)
+		if fr.DivergentEntry {
+			fmt.Fprintf(w, "  (reachable under divergent control from a call site)\n")
+		}
+		for _, b := range fr.Branches {
+			fmt.Fprintf(w, "  branch block %-12s on %%%s (%s) at %s\n", b.Block+":", b.Cond, b.Shape, b.Loc)
+		}
+		if len(fr.Accesses) > 0 {
+			fmt.Fprintf(w, "  global memory (predicted lines/warp @%dB Kepler / @%dB Pascal):\n",
+				staticadvisor.KeplerLineSize, staticadvisor.PascalLineSize)
+			for _, a := range fr.Accesses {
+				detail := a.Class.String()
+				if a.Class == staticadvisor.ClassCoalesced || a.Class == staticadvisor.ClassStrided {
+					detail = fmt.Sprintf("%s stride %dB", a.Class, a.Stride)
+				}
+				fmt.Fprintf(w, "    %-7s %dB block %-12s %-20s %2d / %2d  at %s\n",
+					a.Op, a.Bytes, a.Block+":", detail,
+					a.PredictedLines(staticadvisor.KeplerLineSize),
+					a.PredictedLines(staticadvisor.PascalLineSize), a.Loc)
+			}
+		}
+		for _, b := range fr.Barriers {
+			fmt.Fprintf(w, "  BARRIER under divergent control: block %s at %s\n", b.Block, b.Loc)
+		}
+	}
+}
+
+// AgreementRow is one application's static-vs-dynamic branch-divergence
+// cross-validation summary: of the static blocks that executed, how
+// many the analyzer flagged, how many the profiler saw diverge, and how
+// the two sets overlap.
+type AgreementRow struct {
+	App           string
+	Blocks        int // executed static blocks
+	StaticFlagged int // flagged divergent by the static analyzer
+	DynDivergent  int // observed divergent by the profiler
+	Both          int // flagged and observed
+	StaticOnly    int // flagged, never observed divergent (false positives)
+	DynOnly       int // observed, not flagged (false negatives: must be 0)
+}
+
+// Agreement returns the fraction of executed blocks where the static
+// prediction matched the dynamic observation.
+func (r AgreementRow) Agreement() float64 {
+	if r.Blocks == 0 {
+		return 1
+	}
+	return float64(r.Blocks-r.StaticOnly-r.DynOnly) / float64(r.Blocks)
+}
+
+// AgreementTable renders the cross-validation table.
+func AgreementTable(w io.Writer, rows []AgreementRow) {
+	fmt.Fprintf(w, "%-10s %7s %7s %7s %6s %11s %9s %10s\n",
+		"App", "blocks", "static", "dynamic", "both", "static-only", "dyn-only", "agreement")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %7d %7d %7d %6d %11d %9d %9.1f%%\n",
+			r.App, r.Blocks, r.StaticFlagged, r.DynDivergent, r.Both,
+			r.StaticOnly, r.DynOnly, 100*r.Agreement())
+	}
+}

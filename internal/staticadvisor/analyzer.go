@@ -1,0 +1,176 @@
+package staticadvisor
+
+import "cudaadvisor/internal/ir"
+
+// analyzer drives the interprocedural fixed point: each function is
+// analyzed in the join of the contexts it is called in, and re-analyzed
+// when a caller widens that context or a callee's return summary grows.
+// Contexts and summaries only climb the lattice, so the worklist
+// terminates.
+type analyzer struct {
+	mod     *ir.Module
+	ctxs    map[*ir.Function]*context
+	local   map[*ir.Function]localResult
+	summary map[*ir.Function]Value         // current return shapes
+	callers map[*ir.Function][]*ir.Function // static reverse call graph
+
+	queue  []*ir.Function
+	queued map[*ir.Function]bool
+}
+
+func newAnalyzer(m *ir.Module) *analyzer {
+	a := &analyzer{
+		mod:     m,
+		ctxs:    make(map[*ir.Function]*context),
+		local:   make(map[*ir.Function]localResult),
+		summary: make(map[*ir.Function]Value),
+		callers: make(map[*ir.Function][]*ir.Function),
+		queued:  make(map[*ir.Function]bool),
+	}
+	for _, f := range m.Funcs {
+		seen := make(map[*ir.Function]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.CalleeFn != nil && !seen[in.CalleeFn] {
+					seen[in.CalleeFn] = true
+					a.callers[in.CalleeFn] = append(a.callers[in.CalleeFn], f)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func (a *analyzer) enqueue(f *ir.Function) {
+	if !a.queued[f] {
+		a.queued[f] = true
+		a.queue = append(a.queue, f)
+	}
+}
+
+// mergeContext joins ctx into f's accumulated context, scheduling f for
+// (re)analysis when it widens.
+func (a *analyzer) mergeContext(f *ir.Function, ctx context) {
+	cur, ok := a.ctxs[f]
+	if !ok {
+		c := ctx
+		c.args = append([]Value(nil), ctx.args...)
+		a.ctxs[f] = &c
+		a.enqueue(f)
+		return
+	}
+	if cur.mergeInto(ctx) {
+		a.enqueue(f)
+	}
+}
+
+// run drains the worklist.
+func (a *analyzer) run() {
+	for len(a.queue) > 0 {
+		f := a.queue[0]
+		a.queue = a.queue[1:]
+		a.queued[f] = false
+
+		res := analyzeLocal(f, *a.ctxs[f], func(callee *ir.Function) Value {
+			return a.summary[callee]
+		})
+		a.local[f] = res
+
+		// Propagate call contexts with the final values of this pass.
+		divEntry := a.ctxs[f].divEntry
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.CalleeFn == nil {
+					continue
+				}
+				args := make([]Value, len(in.Args))
+				for i := range in.Args {
+					args[i] = operandValue(&in.Args[i], res.vals)
+				}
+				a.mergeContext(in.CalleeFn, context{
+					args:     args,
+					divEntry: divEntry || res.divBlocks[b.Index],
+				})
+			}
+		}
+
+		// A grown return summary invalidates the callers.
+		if nv := join(a.summary[f], res.ret); nv != a.summary[f] {
+			a.summary[f] = nv
+			for _, caller := range a.callers[f] {
+				a.enqueue(caller)
+			}
+		}
+	}
+}
+
+// funcResult assembles the reported result — divergent blocks plus the
+// three checkers' findings — for one analyzed function.
+func (a *analyzer) funcResult(f *ir.Function) *FuncResult {
+	res := a.local[f]
+	ctx := a.ctxs[f]
+
+	fr := &FuncResult{
+		Fn:             f,
+		DivergentEntry: ctx.divEntry,
+		Divergent:      make([]bool, len(f.Blocks)),
+		Ret:            res.ret,
+		vals:           res.vals,
+	}
+	for i := range f.Blocks {
+		fr.Divergent[i] = res.divBlocks[i] || ctx.divEntry
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpCBr:
+				fr.TotalBranches++
+				cond := operandValue(&in.Args[0], res.vals)
+				if cond.IsVarying() {
+					fr.Branches = append(fr.Branches, BranchFinding{
+						Func: f.Name, Block: b.Name,
+						Cond: in.Args[0].Name, Shape: cond, Loc: in.Loc,
+					})
+				}
+			case in.Op.IsMemAccess() && in.Space == ir.Global:
+				addr := operandValue(&in.Args[0], res.vals)
+				if addr.Shape == Bottom {
+					continue // unreachable code
+				}
+				af := AccessFinding{
+					Func: f.Name, Block: b.Name,
+					Op: in.Op, Bytes: in.Mem.Size(), Addr: addr, Loc: in.Loc,
+				}
+				switch {
+				case addr.Shape == Uniform:
+					af.Class = ClassUniform
+				case addr.Shape == Affine:
+					af.Stride = addr.Stride
+					if abs64(addr.Stride) == int64(af.Bytes) {
+						af.Class = ClassCoalesced
+					} else {
+						af.Class = ClassStrided
+					}
+				default:
+					af.Class = ClassDivergent
+				}
+				fr.Accesses = append(fr.Accesses, af)
+			case in.Op == ir.OpBar:
+				if fr.Divergent[b.Index] {
+					fr.Barriers = append(fr.Barriers, BarrierFinding{
+						Func: f.Name, Block: b.Name, Loc: in.Loc,
+					})
+				}
+			}
+		}
+	}
+	return fr
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+package staticadvisor_test
+
+import (
+	"strings"
+	"testing"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/irtext"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/rt"
+	"cudaadvisor/internal/staticadvisor"
+)
+
+func parseTestModule(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := irtext.Parse("fixture.mir", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+// TestCrossValidateBranchDivergence runs every benchmark application
+// under the dynamic profiler and checks the static analyzer against the
+// observed per-block divergence. The static analysis is one-sided: it
+// may flag blocks that never diverge on this input (false positives are
+// reported in the table), but a block the profiler saw execute with a
+// partial warp must always be statically flagged — zero false
+// negatives.
+func TestCrossValidateBranchDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all benchmark applications")
+	}
+	var rows []report.AgreementRow
+	for _, app := range apps.InTableOrder() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			adv := core.New(gpu.KeplerK40c(), instrument.Options{Blocks: true})
+			prog, err := app.Instrumented(adv.Opts)
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			if err := app.Run(adv.Context(), prog, 1); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			dyn := adv.BranchDivergence()
+
+			m, err := app.Module()
+			if err != nil {
+				t.Fatalf("module: %v", err)
+			}
+			res, err := staticadvisor.Analyze(m)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+
+			row := report.AgreementRow{App: app.Name}
+			for _, b := range dyn.Blocks() {
+				fr := res.Func(b.Block.Func)
+				if fr == nil {
+					t.Fatalf("dynamic block in unknown function @%s", b.Block.Func)
+				}
+				blk := fr.Fn.Block(b.Block.Block)
+				if blk == nil {
+					t.Fatalf("dynamic block @%s/%s not in static module", b.Block.Func, b.Block.Block)
+				}
+				flagged := fr.Divergent[blk.Index]
+				diverged := b.Divergent > 0
+				row.Blocks++
+				if flagged {
+					row.StaticFlagged++
+				}
+				if diverged {
+					row.DynDivergent++
+				}
+				switch {
+				case flagged && diverged:
+					row.Both++
+				case flagged:
+					row.StaticOnly++
+				case diverged:
+					row.DynOnly++
+					t.Errorf("false negative: @%s block %s diverged in %d of %d executions but is not statically flagged (at %s)",
+						b.Block.Func, b.Block.Block, b.Divergent, b.Execs, b.Loc)
+				}
+			}
+			rows = append(rows, row)
+		})
+	}
+
+	var tbl strings.Builder
+	report.AgreementTable(&tbl, rows)
+	t.Logf("static/dynamic branch-divergence agreement:\n%s", tbl.String())
+	for _, r := range rows {
+		if r.DynOnly != 0 {
+			t.Errorf("%s: %d dynamically divergent blocks missed by the static analyzer", r.App, r.DynOnly)
+		}
+	}
+}
+
+// A kernel the simulator faults on must be caught ahead of time by the
+// barrier lint: the same module both statically flags and dynamically
+// faults with "divergent barrier".
+const divBarrierSrc = `
+module db
+kernel @bad(%n: i32) {
+entry:
+  %tx = sreg tid.x
+  %c  = icmp lt i32 %tx, 16
+  cbr %c, low, high
+low:
+  bar
+  br high
+high:
+  ret
+}
+`
+
+func TestCrossValidateDivergentBarrier(t *testing.T) {
+	m := parseTestModule(t, divBarrierSrc)
+
+	// Static side: the lint flags the guarded barrier.
+	res, err := staticadvisor.Analyze(m)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	fr := res.Func("bad")
+	if len(fr.Barriers) != 1 || fr.Barriers[0].Block != "low" {
+		t.Fatalf("static barriers = %+v, want the bar in block low", fr.Barriers)
+	}
+
+	// Dynamic side: launching the same kernel faults.
+	ctx := rt.NewContext(gpu.NewDevice(gpu.KeplerK40c(), 1<<20), profiler.New())
+	_, err = ctx.Launch(instrument.NativeProgram(m), "bad", rt.Dim(1), rt.Dim(32), rt.I32(0))
+	if err == nil || !strings.Contains(err.Error(), "divergent barrier") {
+		t.Fatalf("launch err = %v, want divergent barrier fault", err)
+	}
+}

@@ -1,0 +1,61 @@
+package staticadvisor
+
+import (
+	"fmt"
+	"io"
+)
+
+// Line-size constants for the two evaluated architectures, used when a
+// report wants line predictions without an ArchConfig in hand.
+const (
+	KeplerLineSize = 128
+	PascalLineSize = 32
+)
+
+func (b BranchFinding) String() string {
+	return fmt.Sprintf("@%s block %s: divergent branch on %%%s (%s) at %s",
+		b.Func, b.Block, b.Cond, b.Shape, b.Loc)
+}
+
+func (a AccessFinding) String() string {
+	detail := a.Class.String()
+	if a.Class == ClassCoalesced || a.Class == ClassStrided {
+		detail = fmt.Sprintf("%s (stride %dB)", a.Class, a.Stride)
+	}
+	return fmt.Sprintf("@%s block %s: %s global %dB: %s, predicted lines/warp %d @%dB, %d @%dB, at %s",
+		a.Func, a.Block, a.Op, a.Bytes, detail,
+		a.PredictedLines(KeplerLineSize), KeplerLineSize,
+		a.PredictedLines(PascalLineSize), PascalLineSize, a.Loc)
+}
+
+func (b BarrierFinding) String() string {
+	return fmt.Sprintf("@%s block %s: barrier under divergent control flow at %s", b.Func, b.Block, b.Loc)
+}
+
+// WriteBranches writes the branch-divergence findings, one line each,
+// prefixed with the given tag.
+func (r *ModuleResult) WriteBranches(w io.Writer, tag string) {
+	for _, fr := range r.Funcs {
+		for _, f := range fr.Branches {
+			fmt.Fprintf(w, "%s: %s\n", tag, f)
+		}
+	}
+}
+
+// WriteAccesses writes the memory classification findings.
+func (r *ModuleResult) WriteAccesses(w io.Writer, tag string) {
+	for _, fr := range r.Funcs {
+		for _, f := range fr.Accesses {
+			fmt.Fprintf(w, "%s: %s\n", tag, f)
+		}
+	}
+}
+
+// WriteBarriers writes the barrier-divergence findings.
+func (r *ModuleResult) WriteBarriers(w io.Writer, tag string) {
+	for _, fr := range r.Funcs {
+		for _, f := range fr.Barriers {
+			fmt.Fprintf(w, "%s: %s\n", tag, f)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package staticadvisor
+
+import "cudaadvisor/internal/ir"
+
+// influenceRegion returns, per block index, the influence region of the
+// branch terminating block b: every block reachable from a successor of
+// b without passing through b's immediate post-dominator (the warp's
+// reconvergence point under the simulator's IPDOM scheme), excluding
+// the post-dominator itself.
+//
+// When the branch's condition is thread-varying these are exactly the
+// blocks that can execute with a partial warp: the divergent arms, any
+// interior joins before reconvergence, and — for loops whose exit
+// condition varies per lane — the loop body and header re-entered by
+// the surviving lanes.
+//
+// pd is the function's post-dominator array from ir.PostDominators. A
+// branch whose post-dominator is the virtual exit (both arms return
+// separately) influences everything it can reach; a block that cannot
+// reach an exit at all (pd entry -1) is treated the same way.
+func influenceRegion(f *ir.Function, b *ir.Block, pd []int) []bool {
+	stop := pd[b.Index] // ir.VirtualExit and -1 match no real block below
+	region := make([]bool, len(f.Blocks))
+	var walk func(x *ir.Block)
+	walk = func(x *ir.Block) {
+		if x.Index == stop || region[x.Index] {
+			return
+		}
+		region[x.Index] = true
+		for _, s := range x.Succs {
+			walk(s)
+		}
+	}
+	for _, s := range b.Succs {
+		walk(s)
+	}
+	return region
+}

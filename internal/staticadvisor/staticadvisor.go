@@ -1,0 +1,240 @@
+// Package staticadvisor is the static counterpart of the dynamic
+// profiler: a uniformity (divergence) dataflow analysis over the
+// miniature IR that predicts, from bitcode alone, the hazards the
+// profiler measures at runtime — divergent branches (Table 3), memory
+// divergence at the coalescer (Figure 5), and barriers reachable under
+// divergent control flow (which the simulator reports only as a runtime
+// "divergent barrier" fault).
+//
+// The analysis is a fixed-point over a small abstract-value lattice:
+//
+//	Bottom < {Uniform, Affine(stride)} < Varying
+//
+// Uniform means every active lane of a warp holds the same value;
+// Affine(s) means the value is a warp-uniform base plus s*tid.x, the
+// shape unit-stride address arithmetic produces; Varying is any other
+// per-lane value. Thread-index sources seed the lattice (tid.x is
+// Affine(1); tid.y/tid.z are conservatively Varying because the lane
+// order within a warp interleaves them; ctaid/ntid/nctaid are Uniform)
+// and values propagate through registers, loads, device-function calls,
+// and — via the influence regions of thread-varying branches computed
+// with ir.PostDominators — through control dependence.
+//
+// Soundness is one-sided by design: the analysis may flag a branch or
+// block that never diverges on a particular input (a false positive),
+// but a branch the profiler observes diverging is always flagged. The
+// cross-validation test in this package checks that property against
+// the dynamic profiler on all ten benchmark applications. Like every
+// static divergence analysis it assumes well-formed kernels: a register
+// is read only on executions that previously wrote it.
+package staticadvisor
+
+import (
+	"cudaadvisor/internal/ir"
+)
+
+// Analyze runs the interprocedural uniformity analysis over a module
+// and derives the three checkers' findings for every function. The
+// module is finalized if it is not already.
+//
+// Kernels are analyzed with uniform parameters (launch arguments are
+// warp-invariant); device functions are analyzed in the join of the
+// contexts they are called from. Device functions never called from the
+// module are analyzed standalone, as if called uniformly.
+func Analyze(m *ir.Module) (*ModuleResult, error) {
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	a := newAnalyzer(m)
+
+	// Seed every kernel: parameters are uniform, entry is convergent.
+	for _, f := range m.Funcs {
+		if f.IsKernel {
+			a.mergeContext(f, uniformContext(f))
+		}
+	}
+	a.run()
+
+	// Device functions unreachable from any kernel still get linted,
+	// under the least pessimistic assumption (uniform call).
+	for _, f := range m.Funcs {
+		if _, ok := a.ctxs[f]; !ok {
+			a.mergeContext(f, uniformContext(f))
+			a.run()
+		}
+	}
+
+	res := &ModuleResult{Module: m, byName: make(map[string]*FuncResult)}
+	for _, f := range m.Funcs {
+		fr := a.funcResult(f)
+		res.Funcs = append(res.Funcs, fr)
+		res.byName[f.Name] = fr
+	}
+	return res, nil
+}
+
+// ModuleResult holds the per-function analysis results in module order.
+type ModuleResult struct {
+	Module *ir.Module
+	Funcs  []*FuncResult
+
+	byName map[string]*FuncResult
+}
+
+// Func returns the result for the named function, or nil.
+func (r *ModuleResult) Func(name string) *FuncResult { return r.byName[name] }
+
+// FuncResult is the analysis of one function under the join of every
+// context it is reachable in.
+type FuncResult struct {
+	Fn             *ir.Function
+	DivergentEntry bool // some call site enters this function under divergent control
+
+	// Divergent, indexed by Block.Index, marks blocks that may execute
+	// with a partial warp: blocks inside the influence region of a
+	// thread-varying branch, or any block when the entry is divergent.
+	Divergent []bool
+
+	// TotalBranches counts the function's conditional branches;
+	// Branches lists the thread-varying ones.
+	TotalBranches int
+	Branches      []BranchFinding
+
+	// Accesses classifies every global-memory load/store/atomic.
+	Accesses []AccessFinding
+
+	// Barriers lists bar instructions reachable under divergent control
+	// — the static form of the simulator's "divergent barrier" fault.
+	Barriers []BarrierFinding
+
+	// Ret is the abstract return value (Bottom for void functions).
+	Ret Value
+
+	vals []Value // final abstract value per register index
+}
+
+// DivergentBlockCount returns how many blocks may execute divergently.
+func (fr *FuncResult) DivergentBlockCount() int {
+	n := 0
+	for _, d := range fr.Divergent {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockDivergent reports whether the named block may execute with a
+// partial warp.
+func (fr *FuncResult) BlockDivergent(name string) bool {
+	b := fr.Fn.Block(name)
+	return b != nil && fr.Divergent[b.Index]
+}
+
+// RegValue returns the abstract value of a register by name (Bottom if
+// unknown).
+func (fr *FuncResult) RegValue(name string) Value {
+	if i := fr.Fn.RegIndex(name); i >= 0 {
+		return fr.vals[i]
+	}
+	return Value{}
+}
+
+// BranchFinding is a conditional branch whose condition is
+// thread-varying: the static prediction of a Table 3 divergent site.
+type BranchFinding struct {
+	Func  string
+	Block string
+	Cond  string // condition register name
+	Shape Value  // abstract condition value (Affine or Varying)
+	Loc   ir.Loc
+}
+
+// AccessClass classifies a global-memory address expression by the
+// coalescer behaviour it predicts.
+type AccessClass uint8
+
+// Address classes, from best to worst.
+const (
+	// ClassUniform: all lanes touch one address — one line per warp.
+	ClassUniform AccessClass = iota
+	// ClassCoalesced: unit stride — consecutive lanes touch consecutive
+	// elements, the minimum number of lines for the access width.
+	ClassCoalesced
+	// ClassStrided: a known constant stride larger than the element —
+	// the coalescer needs proportionally more lines.
+	ClassStrided
+	// ClassDivergent: no static structure — up to one line per lane.
+	ClassDivergent
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassUniform:
+		return "uniform"
+	case ClassCoalesced:
+		return "coalesced"
+	case ClassStrided:
+		return "strided"
+	case ClassDivergent:
+		return "divergent"
+	}
+	return "?"
+}
+
+// AccessFinding is the static classification of one global-memory
+// instruction: the prediction of what the profiler's Figure 5
+// unique-lines measurement will see at this site.
+type AccessFinding struct {
+	Func   string
+	Block  string
+	Op     ir.Op // OpLd, OpSt or OpAtom
+	Bytes  int   // access width
+	Addr   Value // abstract address
+	Class  AccessClass
+	Stride int64 // byte stride per tid.x step (Affine addresses)
+	Loc    ir.Loc
+}
+
+// PredictedLines returns the number of distinct cache lines of the
+// given size a full 32-lane warp is predicted to touch at this site.
+// The estimate assumes a line-aligned base and lanes with consecutive
+// tid.x, the layout used by 1D kernels.
+func (a AccessFinding) PredictedLines(lineSize int) int {
+	switch a.Class {
+	case ClassUniform:
+		return 1
+	case ClassCoalesced, ClassStrided:
+		lines := make(map[int64]bool)
+		for lane := int64(0); lane < 32; lane++ {
+			first := lane * a.Stride
+			last := first + int64(a.Bytes) - 1
+			for l := floorDiv(first, int64(lineSize)); l <= floorDiv(last, int64(lineSize)); l++ {
+				lines[l] = true
+			}
+		}
+		if len(lines) > 32 {
+			return 32
+		}
+		return len(lines)
+	default:
+		return 32
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// BarrierFinding is a bar instruction reachable under divergent control
+// flow: executed with a partial warp it deadlocks real hardware, and
+// the simulator faults with "divergent barrier".
+type BarrierFinding struct {
+	Func  string
+	Block string
+	Loc   ir.Loc
+}

@@ -1,0 +1,426 @@
+package staticadvisor
+
+import (
+	"fmt"
+
+	"cudaadvisor/internal/ir"
+)
+
+// Shape is the abstract shape of a value across the active lanes of a
+// warp.
+type Shape uint8
+
+// Lattice: Bottom below everything, Varying above everything, Uniform
+// and Affine incomparable in the middle.
+const (
+	// Bottom: no executions reach this value (initial state).
+	Bottom Shape = iota
+	// Uniform: every active lane holds the same value.
+	Uniform
+	// Affine: base + Stride*tid.x with a warp-uniform base.
+	Affine
+	// Varying: lanes may hold arbitrary distinct values.
+	Varying
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Bottom:
+		return "unreached"
+	case Uniform:
+		return "uniform"
+	case Affine:
+		return "affine"
+	case Varying:
+		return "varying"
+	}
+	return "?"
+}
+
+// Value is an abstract value: a shape plus the tid.x stride for Affine.
+type Value struct {
+	Shape  Shape
+	Stride int64 // meaningful only when Shape == Affine
+}
+
+func (v Value) String() string {
+	if v.Shape == Affine {
+		return fmt.Sprintf("affine(stride %d)", v.Stride)
+	}
+	return v.Shape.String()
+}
+
+// IsVarying reports whether the value can differ between lanes of a
+// warp — the property that makes a branch condition divergent.
+func (v Value) IsVarying() bool {
+	return v.Shape == Affine && v.Stride != 0 || v.Shape == Varying
+}
+
+func uniform() Value          { return Value{Shape: Uniform} }
+func affine(s int64) Value    { return Value{Shape: Affine, Stride: s} }
+func varying() Value          { return Value{Shape: Varying} }
+func normAffine(s int64) Value {
+	if s == 0 {
+		return uniform()
+	}
+	return affine(s)
+}
+
+// join is the lattice least upper bound.
+func join(a, b Value) Value {
+	if a == b || b.Shape == Bottom {
+		return a
+	}
+	if a.Shape == Bottom {
+		return b
+	}
+	// Distinct non-bottom values: only identical Affine strides (caught
+	// by a == b) stay below Varying.
+	return varying()
+}
+
+// context is the calling context a function is analyzed in: abstract
+// argument values plus whether any call site reaches the function under
+// divergent control flow.
+type context struct {
+	args     []Value
+	divEntry bool
+}
+
+func uniformContext(f *ir.Function) context {
+	args := make([]Value, len(f.Params))
+	for i := range args {
+		args[i] = uniform()
+	}
+	return context{args: args}
+}
+
+// mergeInto joins other into c, reporting whether c changed.
+func (c *context) mergeInto(other context) bool {
+	changed := false
+	for i := range c.args {
+		if nv := join(c.args[i], other.args[i]); nv != c.args[i] {
+			c.args[i] = nv
+			changed = true
+		}
+	}
+	if other.divEntry && !c.divEntry {
+		c.divEntry = true
+		changed = true
+	}
+	return changed
+}
+
+// localResult is the intraprocedural fixed point of one function under
+// one context.
+type localResult struct {
+	vals []Value // per register index
+	// divBlocks marks blocks inside the influence region of a
+	// thread-varying branch of THIS function (entry divergence is
+	// layered on by the caller).
+	divBlocks []bool
+	ret       Value
+}
+
+// retResolver supplies the current abstract return value of a callee.
+type retResolver func(callee *ir.Function) Value
+
+// analyzeLocal runs the uniformity fixed point over one function. The
+// dataflow is flow-insensitive per register (the IR is not SSA: a
+// register's abstract value is the join over its definitions), with two
+// control-dependence refinements driven by the influence regions of
+// thread-varying branches:
+//
+//   - escape taint: a register defined inside the influence region of a
+//     thread-varying branch and used outside it mixes values from
+//     divergent paths, so it is forced to Varying;
+//   - divergent returns: a ret inside an influence region returns
+//     different values to different lanes, so the function's return
+//     value is Varying.
+//
+// Regions depend on which branches are varying, which depends on the
+// values, so the whole loop iterates to a fixed point (the lattice is
+// finite, taints only accumulate, and values only climb).
+func analyzeLocal(f *ir.Function, ctx context, resolve retResolver) localResult {
+	vals := make([]Value, f.NumRegs)
+	for i := range f.Params {
+		vals[i] = join(vals[i], ctx.args[i])
+	}
+	tainted := make([]bool, f.NumRegs)
+	pd := ir.PostDominators(f)
+
+	var divBlocks []bool
+	for {
+		// Value pass under the current taint set.
+		for {
+			changed := false
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.DstReg < 0 {
+						continue
+					}
+					v := transfer(in, vals, resolve)
+					if tainted[in.DstReg] {
+						v = varying()
+					}
+					if nv := join(vals[in.DstReg], v); nv != vals[in.DstReg] {
+						vals[in.DstReg] = nv
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+
+		// Region pass: recompute influence regions of thread-varying
+		// branches and apply the escape taint.
+		divBlocks = make([]bool, len(f.Blocks))
+		newTaint := false
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpCBr || !operandValue(&t.Args[0], vals).IsVarying() {
+				continue
+			}
+			region := influenceRegion(f, b, pd)
+			for i, inRegion := range region {
+				if inRegion {
+					divBlocks[i] = true
+				}
+			}
+			for _, r := range escapingRegs(f, region) {
+				if !tainted[r] {
+					tainted[r] = true
+					vals[r] = varying()
+					newTaint = true
+				}
+			}
+		}
+		if !newTaint {
+			break
+		}
+	}
+
+	// Return-value summary.
+	ret := Value{}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpRet {
+			continue
+		}
+		if f.Result == ir.Void {
+			continue
+		}
+		v := operandValue(&t.Args[0], vals)
+		if divBlocks[b.Index] {
+			// Lanes reach this ret on different executions: the values
+			// they take back need not agree even if each execution's is
+			// uniform.
+			v = varying()
+		}
+		ret = join(ret, v)
+	}
+
+	return localResult{vals: vals, divBlocks: divBlocks, ret: ret}
+}
+
+// escapingRegs returns the registers with a definition inside the
+// region and a use outside it.
+func escapingRegs(f *ir.Function, region []bool) []int {
+	defIn := make([]bool, f.NumRegs)
+	useOut := make([]bool, f.NumRegs)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if region[b.Index] && in.DstReg >= 0 {
+				defIn[in.DstReg] = true
+			}
+			if !region[b.Index] {
+				for i := range in.Args {
+					if in.Args[i].Kind == ir.KReg {
+						useOut[in.Args[i].Reg] = true
+					}
+				}
+			}
+		}
+	}
+	var out []int
+	for r := 0; r < f.NumRegs; r++ {
+		if defIn[r] && useOut[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// operandValue abstracts one operand: immediates are warp-uniform,
+// registers carry their current abstract value.
+func operandValue(o *ir.Operand, vals []Value) Value {
+	if o.Kind != ir.KReg {
+		return uniform()
+	}
+	return vals[o.Reg]
+}
+
+// constOf returns the integer value of a constant operand.
+func constOf(o *ir.Operand) (int64, bool) {
+	if o.Kind == ir.KConstInt {
+		return o.Int, true
+	}
+	return 0, false
+}
+
+// transfer computes the abstract result of one value-producing
+// instruction.
+func transfer(in *ir.Instr, vals []Value, resolve retResolver) Value {
+	arg := func(i int) Value { return operandValue(&in.Args[i], vals) }
+
+	switch {
+	case in.Op == ir.OpAdd || in.Op == ir.OpSub:
+		a, b := arg(0), arg(1)
+		if a.Shape == Bottom || b.Shape == Bottom {
+			return Value{}
+		}
+		sa, sb := strideOf(a), strideOf(b)
+		if sa == nil || sb == nil {
+			return varying()
+		}
+		if in.Op == ir.OpSub {
+			return normAffine(*sa - *sb)
+		}
+		return normAffine(*sa + *sb)
+	case in.Op == ir.OpMul:
+		return mulValue(arg(0), arg(1), &in.Args[0], &in.Args[1])
+	case in.Op == ir.OpShl:
+		a, b := arg(0), arg(1)
+		if a.Shape == Bottom || b.Shape == Bottom {
+			return Value{}
+		}
+		if c, ok := constOf(&in.Args[1]); ok && a.Shape == Affine && c >= 0 && c < 32 {
+			return normAffine(a.Stride << uint(c))
+		}
+		return uniformOrVarying(a, b)
+	case in.Op.IsIntBinary() || in.Op.IsFloatBinary():
+		return uniformOrVarying(arg(0), arg(1))
+	case in.Op.IsFloatUnary():
+		return uniformOrVarying(arg(0))
+	case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
+		a, b := arg(0), arg(1)
+		if a.Shape == Bottom || b.Shape == Bottom {
+			return Value{}
+		}
+		// Equal-stride affine operands have a warp-uniform difference,
+		// so their comparison is uniform (e.g. tid-derived loop bounds
+		// compared against tid-derived counters).
+		if a.Shape == Affine && b.Shape == Affine && a.Stride == b.Stride {
+			return uniform()
+		}
+		return uniformOrVarying(a, b)
+	case in.Op == ir.OpSelect:
+		p, a, b := arg(0), arg(1), arg(2)
+		if p.Shape == Bottom {
+			return Value{}
+		}
+		if p.IsVarying() {
+			return varying()
+		}
+		return join(a, b)
+	case in.Op == ir.OpMov:
+		return arg(0)
+	case in.Op == ir.OpSext || in.Op == ir.OpTrunc:
+		return arg(0) // stride-preserving width changes
+	case in.Op == ir.OpSitofp || in.Op == ir.OpFptosi || in.Op == ir.OpZext:
+		return uniformOrVarying(arg(0))
+	case in.Op == ir.OpGEP:
+		base, idx := arg(0), arg(1)
+		if base.Shape == Bottom || idx.Shape == Bottom {
+			return Value{}
+		}
+		sb, si := strideOf(base), strideOf(idx)
+		if sb == nil || si == nil {
+			return varying()
+		}
+		return normAffine(*sb + *si*in.Scale)
+	case in.Op == ir.OpLd:
+		a := arg(0)
+		if a.Shape == Bottom {
+			return Value{}
+		}
+		if a.Shape == Uniform {
+			// All active lanes load the same address in lockstep and
+			// observe the same value: a warp-level broadcast.
+			return uniform()
+		}
+		return varying()
+	case in.Op == ir.OpAtom:
+		// Atomics return the pre-update value: serialized per lane,
+		// distinct even at a uniform address.
+		return varying()
+	case in.Op == ir.OpSReg:
+		switch in.SReg {
+		case ir.SRegTidX:
+			return affine(1)
+		case ir.SRegTidY, ir.SRegTidZ:
+			// Lane order interleaves y/z when ntid.x < 32; treat as
+			// unstructured thread-varying.
+			return varying()
+		default:
+			return uniform() // ctaid/ntid/nctaid are warp-invariant
+		}
+	case in.Op == ir.OpShPtr:
+		return uniform()
+	case in.Op == ir.OpCall:
+		if in.CalleeFn == nil {
+			return Value{} // hook intrinsics produce no value
+		}
+		return resolve(in.CalleeFn)
+	}
+	return varying()
+}
+
+// strideOf views a value as an affine function of tid.x: Uniform has
+// stride 0, Affine its stride, Varying none (nil).
+func strideOf(v Value) *int64 {
+	switch v.Shape {
+	case Uniform:
+		z := int64(0)
+		return &z
+	case Affine:
+		s := v.Stride
+		return &s
+	}
+	return nil
+}
+
+// mulValue handles multiplication: affine values scale by constant
+// factors; anything else collapses to uniform-or-varying.
+func mulValue(a, b Value, oa, ob *ir.Operand) Value {
+	if a.Shape == Bottom || b.Shape == Bottom {
+		return Value{}
+	}
+	if c, ok := constOf(ob); ok && a.Shape == Affine {
+		return normAffine(a.Stride * c)
+	}
+	if c, ok := constOf(oa); ok && b.Shape == Affine {
+		return normAffine(b.Stride * c)
+	}
+	return uniformOrVarying(a, b)
+}
+
+// uniformOrVarying joins operands through an operation with no affine
+// transfer: uniform in, uniform out; anything thread-dependent in,
+// varying out.
+func uniformOrVarying(vs ...Value) Value {
+	out := Value{}
+	for _, v := range vs {
+		switch v.Shape {
+		case Bottom:
+			return Value{}
+		case Uniform:
+			out = join(out, uniform())
+		default:
+			return varying()
+		}
+	}
+	return out
+}
