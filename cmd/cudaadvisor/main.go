@@ -19,6 +19,16 @@
 //	-j N    parallel simulator runs (default 0 = GOMAXPROCS). Every
 //	        experiment fans its independent runs out on a bounded worker
 //	        pool; output is byte-identical for every N.
+//	-trace-cap N       bound each kernel trace's buffers to N records;
+//	                   overflowing traces fall back to deterministic
+//	                   sampling and analyses annotate their coverage
+//	-cell-timeout D    per-cell deadline (e.g. 30s); a runaway cell
+//	                   aborts without taking the run with it
+//	-keep-going        degrade gracefully: a failing cell becomes an
+//	                   annotated "[cell failed: ...]" line, every other
+//	                   cell still renders, and the exit status is 1
+//	-inject SPEC       deterministic fault injection for resilience
+//	                   testing (see internal/faultinject)
 //
 // Flags for profile:
 //
@@ -34,6 +44,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +55,7 @@ import (
 	"cudaadvisor/internal/apps"
 	"cudaadvisor/internal/core"
 	"cudaadvisor/internal/experiments"
+	"cudaadvisor/internal/faultinject"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/irtext"
@@ -60,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cudaadvisor", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jFlag := fs.Int("j", 0, "parallel simulator runs (0 = GOMAXPROCS)")
+	traceCap := fs.Int("trace-cap", 0, "bound each kernel trace's buffers to N records (0 = unbounded)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell deadline (0 = none), e.g. 30s")
+	keepGoing := fs.Bool("keep-going", false, "annotate failing cells and continue; exit 1 at the end")
+	injectSpec := fs.String("inject", "", "fault-injection spec, e.g. seed=1,cells=3,hookerr=100")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,7 +84,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
-	pool := runner.New(*jFlag)
+	env := experiments.DefaultEnv(runner.New(*jFlag), 1)
+	env.TraceCap = *traceCap
+	env.CellTimeout = *cellTimeout
+	env.KeepGoing = *keepGoing
+	if *injectSpec != "" {
+		inj, err := faultinject.Parse(*injectSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "cudaadvisor: -inject:", err)
+			return 2
+		}
+		env.Inject = inj
+	}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	var err error
 	switch cmd {
@@ -81,21 +108,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "lint":
 		err = lintCmd(rest, stdout)
 	case "figure4":
-		err = experiments.WriteFigure4(stdout, pool, 1)
+		err = experiments.WriteFigure4Env(stdout, env)
 	case "figure5":
-		err = experiments.WriteFigure5(stdout, pool, 1)
+		err = experiments.WriteFigure5Env(stdout, env)
 	case "table3":
-		err = experiments.WriteTable3(stdout, pool, 1)
+		err = experiments.WriteTable3Env(stdout, env)
 	case "figure6":
-		err = experiments.WriteFigure6(stdout, pool, 1)
+		err = experiments.WriteFigure6Env(stdout, env)
 	case "figure7":
-		err = experiments.WriteFigure7(stdout, pool, 1)
+		err = experiments.WriteFigure7Env(stdout, env)
 	case "figure10":
-		err = experiments.WriteFigure10(stdout, pool, 1)
+		err = experiments.WriteFigure10Env(stdout, env)
 	case "debugviews":
-		err = experiments.WriteCodeDataCentric(stdout, pool, 1)
+		err = experiments.WriteCodeDataCentricEnv(stdout, env)
 	case "all":
-		err = allCmd(pool, stdout)
+		err = allCmd(env, stdout)
 	default:
 		usage(stderr)
 		return 2
@@ -112,18 +139,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 // gated on the shared pool) and are printed in paper order; the
 // wall-clock overhead study (Figure 10) runs afterwards, alone, so the
 // concurrent figures cannot distort its timing.
-func allCmd(pool *runner.Pool, stdout io.Writer) error {
+//
+// With -keep-going, a failing figure does not abort the others: every
+// figure still renders (injured cells annotated in place), all buffers
+// are printed, and the aggregated error produces exit status 1.
+func allCmd(env experiments.Env, stdout io.Writer) error {
 	figures := []func(w io.Writer) error{
-		func(w io.Writer) error { return experiments.WriteFigure4(w, pool, 1) },
-		func(w io.Writer) error { return experiments.WriteFigure5(w, pool, 1) },
-		func(w io.Writer) error { return experiments.WriteTable3(w, pool, 1) },
-		func(w io.Writer) error { return experiments.WriteFigure6(w, pool, 1) },
-		func(w io.Writer) error { return experiments.WriteFigure7(w, pool, 1) },
-		func(w io.Writer) error { return experiments.WriteCodeDataCentric(w, pool, 1) },
+		func(w io.Writer) error { return experiments.WriteFigure4Env(w, env) },
+		func(w io.Writer) error { return experiments.WriteFigure5Env(w, env) },
+		func(w io.Writer) error { return experiments.WriteTable3Env(w, env) },
+		func(w io.Writer) error { return experiments.WriteFigure6Env(w, env) },
+		func(w io.Writer) error { return experiments.WriteFigure7Env(w, env) },
+		func(w io.Writer) error { return experiments.WriteCodeDataCentricEnv(w, env) },
 	}
 	bufs := make([]bytes.Buffer, len(figures))
-	err := runner.Concurrent(pool, len(figures), func(i int) error {
-		return figures[i](&bufs[i])
+	figErrs := make([]error, len(figures))
+	err := runner.Concurrent(env.Pool, len(figures), func(i int) error {
+		err := figures[i](&bufs[i])
+		if err != nil && env.KeepGoing {
+			figErrs[i] = err
+			return nil
+		}
+		return err
 	})
 	if err != nil {
 		return err
@@ -133,7 +170,12 @@ func allCmd(pool *runner.Pool, stdout io.Writer) error {
 			return err
 		}
 	}
-	return experiments.WriteFigure10(stdout, pool, 1)
+	err = experiments.WriteFigure10Env(stdout, env)
+	if err != nil && !env.KeepGoing {
+		return err
+	}
+	figErrs = append(figErrs, err)
+	return errors.Join(figErrs...)
 }
 
 func usage(w io.Writer) {
@@ -142,6 +184,12 @@ func usage(w io.Writer) {
 global flags:
   -j N         parallel simulator runs (default 0 = GOMAXPROCS); every
                experiment fans out on a worker pool with byte-identical output
+  -trace-cap N       bound kernel trace buffers to N records; overflow falls
+                     back to deterministic sampling, annotated in the output
+  -cell-timeout D    per-cell deadline (e.g. 30s)
+  -keep-going        annotate failing cells, render everything else, exit 1
+  -inject SPEC       deterministic fault injection (seed=,cells=,hookerr=,
+                     faultat=file:line,allocfail=,overflow=,panic=)
 
 commands:
   apps         list the benchmark applications (Table 2)

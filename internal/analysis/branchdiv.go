@@ -16,7 +16,23 @@ type BranchDivResult struct {
 	Divergent int64
 	Total     int64
 
+	// EventsRecorded/EventsSeen carry the trace's block-event coverage
+	// (see ReuseResult): Recorded < Seen means a sampled, partial profile.
+	EventsRecorded int64
+	EventsSeen     int64
+
 	blocks map[int32]*BlockDivergence
+}
+
+// Partial reports whether the underlying trace dropped events.
+func (r *BranchDivResult) Partial() bool { return r.EventsSeen > r.EventsRecorded }
+
+// Coverage returns the recorded share of seen events (1 when complete).
+func (r *BranchDivResult) Coverage() float64 {
+	if !r.Partial() {
+		return 1
+	}
+	return float64(r.EventsRecorded) / float64(r.EventsSeen)
 }
 
 // BlockDivergence aggregates per static basic block: how many times the
@@ -70,6 +86,8 @@ func (r *BranchDivResult) Blocks() []*BlockDivergence {
 func (r *BranchDivResult) Merge(other *BranchDivResult) {
 	r.Divergent += other.Divergent
 	r.Total += other.Total
+	r.EventsRecorded += other.EventsRecorded
+	r.EventsSeen += other.EventsSeen
 	if r.blocks == nil {
 		r.blocks = make(map[int32]*BlockDivergence)
 	}
@@ -89,6 +107,7 @@ func (r *BranchDivResult) Merge(other *BranchDivResult) {
 // trace. tables resolves block ids to names; it may be nil.
 func BranchDivergence(tr *trace.KernelTrace, tables *instrument.Tables) *BranchDivResult {
 	res := &BranchDivResult{blocks: make(map[int32]*BlockDivergence)}
+	res.EventsRecorded, res.EventsSeen = tr.BlocksCoverage()
 	for i := range tr.Blocks {
 		be := &tr.Blocks[i]
 		res.Total++

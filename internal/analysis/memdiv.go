@@ -23,7 +23,23 @@ type MemDivResult struct {
 	// degree metric.
 	WeightedSum int64
 
+	// EventsRecorded/EventsSeen carry the trace's memory-event coverage
+	// (see ReuseResult): Recorded < Seen means a sampled, partial profile.
+	EventsRecorded int64
+	EventsSeen     int64
+
 	sites map[siteKey]*SiteDivergence
+}
+
+// Partial reports whether the underlying trace dropped events.
+func (r *MemDivResult) Partial() bool { return r.EventsSeen > r.EventsRecorded }
+
+// Coverage returns the recorded share of seen events (1 when complete).
+func (r *MemDivResult) Coverage() float64 {
+	if !r.Partial() {
+		return 1
+	}
+	return float64(r.EventsRecorded) / float64(r.EventsSeen)
 }
 
 type siteKey struct {
@@ -93,6 +109,8 @@ func (r *MemDivResult) Merge(other *MemDivResult) {
 	}
 	r.Total += other.Total
 	r.WeightedSum += other.WeightedSum
+	r.EventsRecorded += other.EventsRecorded
+	r.EventsSeen += other.EventsSeen
 	if r.sites == nil {
 		r.sites = make(map[siteKey]*SiteDivergence)
 	}
@@ -115,6 +133,7 @@ func (r *MemDivResult) Merge(other *MemDivResult) {
 // trace for the given cache-line size (128 B on Kepler, 32 B on Pascal).
 func MemDivergence(tr *trace.KernelTrace, lineSize int) *MemDivResult {
 	res := &MemDivResult{LineSize: lineSize, sites: make(map[siteKey]*SiteDivergence)}
+	res.EventsRecorded, res.EventsSeen = tr.MemCoverage()
 	for i := range tr.Mem {
 		m := &tr.Mem[i]
 		if m.Space != ir.Global {

@@ -86,6 +86,24 @@ type ReuseResult struct {
 	// Streaming counts elements that were accessed exactly once by their
 	// CTA (never reused at all).
 	Streaming int64
+
+	// EventsRecorded/EventsSeen carry the trace's memory-event coverage
+	// (trace.KernelTrace.MemCoverage): when a bounded buffer fell back to
+	// sampling, Recorded < Seen and the profile is a deterministic subset.
+	EventsRecorded int64
+	EventsSeen     int64
+}
+
+// Partial reports whether the underlying trace dropped events (sampling
+// under a bounded buffer), i.e. this profile covers a subset of the run.
+func (r *ReuseResult) Partial() bool { return r.EventsSeen > r.EventsRecorded }
+
+// Coverage returns the recorded share of seen events (1 when complete).
+func (r *ReuseResult) Coverage() float64 {
+	if !r.Partial() {
+		return 1
+	}
+	return float64(r.EventsRecorded) / float64(r.EventsSeen)
 }
 
 // Fraction returns bucket i's share of all samples.
@@ -138,6 +156,8 @@ func (r *ReuseResult) Merge(other *ReuseResult) {
 		r.FiniteMax = other.FiniteMax
 	}
 	r.Streaming += other.Streaming
+	r.EventsRecorded += other.EventsRecorded
+	r.EventsSeen += other.EventsSeen
 }
 
 // ReuseDistance computes the reuse-distance profile of a kernel trace.
@@ -147,6 +167,7 @@ func (r *ReuseResult) Merge(other *ReuseResult) {
 // write-no-allocate/write-evict); analysis is per CTA.
 func ReuseDistance(tr *trace.KernelTrace, opt ReuseOptions) *ReuseResult {
 	res := &ReuseResult{}
+	res.EventsRecorded, res.EventsSeen = tr.MemCoverage()
 	for _, cta := range groupByCTA(tr, opt.GlobalOnly) {
 		analyzeCTAReuse(cta, opt.Granularity, res)
 	}
@@ -309,6 +330,7 @@ func (f *fenwick) rangeSum(lo, hi int64) int64 {
 // property tests to validate the Fenwick-tree engine.
 func NaiveReuseDistance(tr *trace.KernelTrace, opt ReuseOptions) *ReuseResult {
 	res := &ReuseResult{}
+	res.EventsRecorded, res.EventsSeen = tr.MemCoverage()
 	for _, records := range groupByCTA(tr, opt.GlobalOnly) {
 		var seq []ctaAccess
 		for i := range records {

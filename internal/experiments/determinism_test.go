@@ -80,7 +80,7 @@ func TestBFSBypassCTAInput(t *testing.T) {
 	a := apps.ByName("bfs")
 	cfg := gpu.KeplerK40c()
 
-	measured, err := timingCTAs(a, cfg, BypassRunScale)
+	measured, err := timingCTAs(nil, a, cfg, BypassRunScale)
 	if err != nil {
 		t.Fatal(err)
 	}

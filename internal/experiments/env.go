@@ -1,0 +1,141 @@
+// Env carries the execution environment the resilience pipeline threads
+// through every experiment: the worker pool, the input scale, run- and
+// cell-level cancellation, trace-buffer bounds, fault injection, and the
+// keep-going degradation policy.
+//
+// Every evaluation cell (one app on one architecture under one analysis)
+// gets a stable hierarchical name — "figure5/kepler-k40c/bfs" — that is
+// both the keep-going annotation label and the key fault injection hashes
+// to pick its targets, so injected failures land on exactly the same
+// cells at every -j.
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/faultinject"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/rt"
+	"cudaadvisor/internal/runner"
+)
+
+// Env is the run-wide experiment environment. The zero value of every
+// optional field means "as before this machinery existed": no deadline,
+// unbounded traces, no injection, abort on first failure.
+type Env struct {
+	Pool  *runner.Pool
+	Scale int
+
+	// Ctx bounds the whole run; nil means context.Background().
+	Ctx context.Context
+
+	// CellTimeout bounds each evaluation cell (0 = none). The deadline is
+	// polled by the GPU executor at the warp-step guard, so a runaway
+	// cell aborts without taking the rest of the run with it.
+	CellTimeout time.Duration
+
+	// TraceCap bounds each kernel trace's buffers (0 = unbounded); see
+	// profiler.Profiler.TraceCap.
+	TraceCap int
+
+	// Inject enables deterministic fault injection (nil = off).
+	Inject *faultinject.Config
+
+	// KeepGoing degrades gracefully: a failing cell becomes an annotated
+	// "[cell failed: …]" line, the healthy cells render normally, and the
+	// figure returns the aggregated error for a non-zero exit at the end.
+	KeepGoing bool
+}
+
+// DefaultEnv is the environment the plain pool+scale entry points use.
+func DefaultEnv(pool *runner.Pool, scale int) Env { return Env{Pool: pool, Scale: scale} }
+
+// base returns the run-wide context.
+func (e Env) base() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+// cellCtx derives one cell's context from parent, applying CellTimeout.
+func (e Env) cellCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = e.base()
+	}
+	if e.CellTimeout > 0 {
+		return context.WithTimeout(parent, e.CellTimeout)
+	}
+	return context.WithCancel(parent)
+}
+
+// profileCell runs one application under the profiler with every Env
+// policy applied: the cell's injector (panic, trace cap, listener
+// wrapping) and the cell context plumbed down to the GPU executor.
+func (e Env) profileCell(ctx context.Context, cell string, app *apps.App, cfg gpu.ArchConfig, opts instrument.Options) (*profiler.Profiler, error) {
+	inj := e.Inject.Cell(cell)
+	inj.MaybePanic()
+	prog, err := app.Instrumented(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: instrument: %w", app.Name, err)
+	}
+	p := profiler.New()
+	p.TraceCap = inj.TraceCap(e.TraceCap)
+	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), inj.Listener(p))
+	c.Options.Ctx = ctx
+	if err := app.Run(c, prog, e.Scale); err != nil {
+		return nil, fmt.Errorf("%s: run: %w", app.Name, err)
+	}
+	return p, nil
+}
+
+// runCells runs one gated pool job per named cell. Each job receives a
+// context bounded by CellTimeout. Without KeepGoing the semantics are
+// exactly runner.MapCtx (first failure wins, no per-cell errors); with
+// KeepGoing every cell runs, the per-cell errors come back aligned with
+// cells, and the returned error aggregates them under their cell names.
+func runCells[T any](env Env, cells []string, fn func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	job := func(ctx context.Context, i int) (T, error) {
+		cctx, cancel := env.cellCtx(ctx)
+		defer cancel()
+		return fn(cctx, i)
+	}
+	if !env.KeepGoing {
+		out, err := runner.MapCtx(env.base(), env.Pool, len(cells), job)
+		return out, nil, err
+	}
+	out, errs := runner.MapAllCtx(env.base(), env.Pool, len(cells), job)
+	return out, errs, joinCellErrors(cells, errs)
+}
+
+// joinCellErrors aggregates per-cell failures under their cell names, in
+// cell order (deterministic at every worker count). nil if none failed.
+func joinCellErrors(cells []string, errs []error) error {
+	var agg []error
+	for i, err := range errs {
+		if err != nil {
+			agg = append(agg, fmt.Errorf("%s: %w", cells[i], err))
+		}
+	}
+	return errors.Join(agg...)
+}
+
+// cellNames builds "prefix/name" cell names.
+func cellNames(prefix string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = prefix + "/" + n
+	}
+	return out
+}
+
+// failedCell renders the keep-going annotation line for one cell.
+func failedCell(cell string, err error) string {
+	return fmt.Sprintf("%s [cell failed: %v]\n", cell, err)
+}

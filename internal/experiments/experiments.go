@@ -18,6 +18,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -86,73 +88,117 @@ var Figure4Apps = []string{"backprop", "hotspot", "lavaMD", "nw", "srad_v2", "bi
 // Kepler only — reuse distance is machine-independent, Section 4.2-A),
 // one pool job per application.
 func Figure4(pool *runner.Pool, scale int) (map[string]*analysis.ReuseResult, error) {
-	res, err := runner.Map(pool, len(Figure4Apps), func(i int) (*analysis.ReuseResult, error) {
-		p, err := Profile(apps.ByName(Figure4Apps[i]), gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+	res, _, err := Figure4Env(DefaultEnv(pool, scale))
+	return res, err
+}
+
+// Figure4Env is Figure4 under an Env: with KeepGoing the per-cell errors
+// come back aligned with Figure4Apps and the error aggregates them.
+func Figure4Env(env Env) (map[string]*analysis.ReuseResult, []error, error) {
+	cells := cellNames("figure4", Figure4Apps)
+	res, errs, err := runCells(env, cells, func(ctx context.Context, i int) (*analysis.ReuseResult, error) {
+		p, err := env.profileCell(ctx, cells[i], apps.ByName(Figure4Apps[i]), gpu.KeplerK40c(), instrument.Options{Memory: true})
 		if err != nil {
 			return nil, err
 		}
 		return MergedReuse(p, analysis.DefaultElementReuse()), nil
 	})
-	if err != nil {
-		return nil, err
+	if err != nil && !env.KeepGoing {
+		return nil, nil, err
 	}
 	out := make(map[string]*analysis.ReuseResult, len(Figure4Apps))
 	for i, name := range Figure4Apps {
 		out[name] = res[i]
 	}
-	return out, nil
+	return out, errs, err
 }
 
 // WriteFigure4 renders Figure 4.
 func WriteFigure4(w io.Writer, pool *runner.Pool, scale int) error {
-	res, err := Figure4(pool, scale)
-	if err != nil {
+	return WriteFigure4Env(w, DefaultEnv(pool, scale))
+}
+
+// WriteFigure4Env renders Figure 4 under an Env, annotating failed cells
+// when KeepGoing is set.
+func WriteFigure4Env(w io.Writer, env Env) error {
+	res, errs, err := Figure4Env(env)
+	if err != nil && !env.KeepGoing {
 		return err
 	}
 	fmt.Fprintln(w, "=== Figure 4: reuse distance analysis (element-based, per CTA) ===")
-	for _, name := range Figure4Apps {
+	for i, name := range Figure4Apps {
+		if errs != nil && errs[i] != nil {
+			fmt.Fprint(w, failedCell("figure4/"+name, errs[i]))
+			continue
+		}
 		report.ReuseHistogram(w, name, res[name])
 	}
-	return nil
+	return err
 }
 
 // Figure5 computes the memory-divergence distributions for one
 // architecture (Kepler: 128 B lines; Pascal: 32 B lines), all ten apps,
 // one pool job per application.
 func Figure5(pool *runner.Pool, cfg gpu.ArchConfig, scale int) (map[string]*analysis.MemDivResult, error) {
+	res, _, err := figure5Env(DefaultEnv(pool, scale), cfg)
+	return res, err
+}
+
+// figure5Env is one Figure 5 panel under an Env; per-cell errors align
+// with apps.InTableOrder().
+func figure5Env(env Env, cfg gpu.ArchConfig) (map[string]*analysis.MemDivResult, []error, error) {
 	order := apps.InTableOrder()
-	res, err := runner.Map(pool, len(order), func(i int) (*analysis.MemDivResult, error) {
-		p, err := Profile(order[i], cfg, instrument.Options{Memory: true}, scale)
+	names := make([]string, len(order))
+	for i, a := range order {
+		names[i] = a.Name
+	}
+	cells := cellNames("figure5/"+cfg.Name, names)
+	res, errs, err := runCells(env, cells, func(ctx context.Context, i int) (*analysis.MemDivResult, error) {
+		p, err := env.profileCell(ctx, cells[i], order[i], cfg, instrument.Options{Memory: true})
 		if err != nil {
 			return nil, err
 		}
 		return MergedMemDiv(p, cfg.L1LineSize), nil
 	})
-	if err != nil {
-		return nil, err
+	if err != nil && !env.KeepGoing {
+		return nil, nil, err
 	}
 	out := make(map[string]*analysis.MemDivResult, len(order))
 	for i, a := range order {
 		out[a.Name] = res[i]
 	}
-	return out, nil
+	return out, errs, err
 }
 
 // WriteFigure5 renders both panels of Figure 5. The two architecture
 // panels run concurrently (each fanning its apps out on the pool) into
 // per-panel buffers that are emitted in paper order.
 func WriteFigure5(w io.Writer, pool *runner.Pool, scale int) error {
+	return WriteFigure5Env(w, DefaultEnv(pool, scale))
+}
+
+// WriteFigure5Env renders Figure 5 under an Env, annotating failed cells
+// when KeepGoing is set.
+func WriteFigure5Env(w io.Writer, env Env) error {
 	cfgs := []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()}
 	bufs := make([]bytes.Buffer, len(cfgs))
-	err := runner.Concurrent(pool, len(cfgs), func(i int) error {
+	panelErrs := make([]error, len(cfgs))
+	err := runner.Concurrent(env.Pool, len(cfgs), func(i int) error {
 		cfg := cfgs[i]
-		res, err := Figure5(pool, cfg, scale)
+		res, errs, err := figure5Env(env, cfg)
 		if err != nil {
-			return err
+			if !env.KeepGoing {
+				return err
+			}
+			panelErrs[i] = err
 		}
 		fmt.Fprintf(&bufs[i], "=== Figure 5: memory divergence on %s (%d B cache lines) ===\n",
 			cfg.Name, cfg.L1LineSize)
-		for _, a := range apps.InTableOrder() {
+		for j, a := range apps.InTableOrder() {
+			if errs != nil && errs[j] != nil {
+				fmt.Fprint(&bufs[i], failedCell("figure5/"+cfg.Name+"/"+a.Name, errs[j]))
+				continue
+			}
 			report.MemDivDistribution(&bufs[i], a.Name, res[a.Name])
 		}
 		return nil
@@ -165,45 +211,82 @@ func WriteFigure5(w io.Writer, pool *runner.Pool, scale int) error {
 			return err
 		}
 	}
-	return nil
+	return errors.Join(panelErrs...)
 }
 
 // Table3 computes the branch-divergence table (architecture-independent;
 // run on the Pascal configuration as in the paper), one pool job per
 // application.
 func Table3(pool *runner.Pool, scale int) ([]report.BranchRow, error) {
+	rows, _, err := Table3Env(DefaultEnv(pool, scale))
+	return rows, err
+}
+
+// Table3Env is Table3 under an Env; per-cell errors align with the rows.
+func Table3Env(env Env) ([]report.BranchRow, []error, error) {
 	order := apps.InTableOrder()
-	return runner.Map(pool, len(order), func(i int) (report.BranchRow, error) {
-		p, err := Profile(order[i], gpu.PascalP100(), instrument.Options{Blocks: true}, scale)
+	names := make([]string, len(order))
+	for i, a := range order {
+		names[i] = a.Name
+	}
+	cells := cellNames("table3", names)
+	rows, errs, err := runCells(env, cells, func(ctx context.Context, i int) (report.BranchRow, error) {
+		p, err := env.profileCell(ctx, cells[i], order[i], gpu.PascalP100(), instrument.Options{Blocks: true})
 		if err != nil {
 			return report.BranchRow{}, err
 		}
 		return report.BranchRow{App: order[i].Name, Result: MergedBranchDiv(p)}, nil
 	})
+	if err != nil && !env.KeepGoing {
+		return nil, nil, err
+	}
+	return rows, errs, err
 }
 
 // WriteTable3 renders Table 3.
 func WriteTable3(w io.Writer, pool *runner.Pool, scale int) error {
-	rows, err := Table3(pool, scale)
-	if err != nil {
+	return WriteTable3Env(w, DefaultEnv(pool, scale))
+}
+
+// WriteTable3Env renders Table 3 under an Env, annotating failed cells
+// when KeepGoing is set.
+func WriteTable3Env(w io.Writer, env Env) error {
+	rows, errs, err := Table3Env(env)
+	if err != nil && !env.KeepGoing {
 		return err
 	}
 	fmt.Fprintln(w, "=== Table 3: branch divergence ===")
-	report.BranchDivTable(w, rows)
-	return nil
+	var healthy []report.BranchRow
+	for i, row := range rows {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		healthy = append(healthy, row)
+	}
+	report.BranchDivTable(w, healthy)
+	if errs != nil {
+		for i, e := range errs {
+			if e != nil {
+				fmt.Fprint(w, failedCell("table3/"+apps.InTableOrder()[i].Name, e))
+			}
+		}
+	}
+	return err
 }
 
 // runCycles executes an app natively with the given bypassing setting and
-// returns the summed modeled kernel cycles.
-func runCycles(app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (int64, error) {
+// returns the summed modeled kernel cycles. ctx (which may be nil) bounds
+// the kernels via the executor's step-guard poll.
+func runCycles(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (int64, error) {
 	prog, err := app.Native()
 	if err != nil {
 		return 0, err
 	}
 	counter := rt.NewCycleCounter()
-	ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
-	ctx.Options.L1Warps = l1Warps
-	if err := app.Run(ctx, prog, scale); err != nil {
+	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
+	c.Options.L1Warps = l1Warps
+	c.Options.Ctx = ctx
+	if err := app.Run(c, prog, scale); err != nil {
 		return 0, err
 	}
 	return counter.Cycles, nil
@@ -221,14 +304,15 @@ const BypassRunScale = 2
 // replaces the old nCTAs*BypassRunScale² extrapolation, which assumed
 // every grid scales quadratically with the input scale and so fed the
 // model a 2× inflated CTA count for 1D-grid applications (bfs).
-func timingCTAs(app *apps.App, cfg gpu.ArchConfig, scale int) (int, error) {
+func timingCTAs(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, scale int) (int, error) {
 	prog, err := app.Native()
 	if err != nil {
 		return 0, err
 	}
 	counter := rt.NewCycleCounter()
-	ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
-	if err := app.Run(ctx, prog, scale); err != nil {
+	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
+	c.Options.Ctx = ctx
+	if err := app.Run(c, prog, scale); err != nil {
 		return 0, err
 	}
 	return counter.MaxCTAs, nil
@@ -242,57 +326,91 @@ func timingCTAs(app *apps.App, cfg gpu.ArchConfig, scale int) (int, error) {
 // and sweep points are gated pool jobs, and the rows are assembled in
 // table order.
 func BypassStudy(pool *runner.Pool, cfg gpu.ArchConfig, scale int) ([]bypass.Comparison, error) {
+	rows, _, err := bypassStudyEnv(DefaultEnv(pool, scale), "bypass/"+cfg.Name, cfg)
+	return rows, err
+}
+
+// bypassFavorable returns the bypass-favorable applications in table order.
+func bypassFavorable() []*apps.App {
 	var favs []*apps.App
 	for _, a := range apps.InTableOrder() {
 		if a.BypassFavorable {
 			favs = append(favs, a)
 		}
 	}
+	return favs
+}
+
+// bypassStudyEnv is BypassStudy under an Env. prefix names the figure
+// panel ("figure6/kepler-k40c-16KB", "figure7/pascal-p100"); per-cell
+// errors align with bypassFavorable(). Fault injection applies to the
+// profiling run of each cell (the timing runs are native code with no
+// hooks and share nothing injectable deterministically); the cell
+// context and timeout bound every run of the cell, including the sweep.
+func bypassStudyEnv(env Env, prefix string, cfg gpu.ArchConfig) ([]bypass.Comparison, []error, error) {
+	favs := bypassFavorable()
+	names := make([]string, len(favs))
+	for i, a := range favs {
+		names[i] = a.Name
+	}
+	cells := cellNames(prefix, names)
 	out := make([]bypass.Comparison, len(favs))
-	err := runner.Concurrent(pool, len(favs), func(i int) error {
+	errs := make([]error, len(favs))
+	err := runner.Concurrent(env.Pool, len(favs), func(i int) error {
 		a := favs[i]
-		// Step 1: profile to obtain the model inputs (Section 4.2-D uses
-		// the memory tracing of case studies A and B).
-		p, err := runner.Do(pool, func() (*profiler.Profiler, error) {
-			return Profile(a, cfg, instrument.Options{Memory: true}, scale)
-		})
-		if err != nil {
-			return err
-		}
-		rdLine := MergedReuse(p, analysis.LineReuse(cfg.L1LineSize))
-		rdElem := MergedReuse(p, analysis.DefaultElementReuse())
-		md := MergedMemDiv(p, cfg.L1LineSize)
-
-		// Step 2: measure the timing-run grid and form the prediction.
-		nCTAs, err := runner.Do(pool, func() (int, error) {
-			return timingCTAs(a, cfg, scale*BypassRunScale)
-		})
-		if err != nil {
-			return err
-		}
-		ctasPerSM := bypass.ResidentCTAs(cfg, a.WarpsPerCTA, nCTAs)
-		predict := bypass.PredictFromProfiles(cfg, rdLine, rdElem, md, a.WarpsPerCTA, ctasPerSM)
-
-		// Step 3: measure baseline / oracle / prediction on native code;
-		// the sweep fans out on the same pool.
-		cmp, err := bypass.Compare(a.Name, cfg.Name, cfg, a.WarpsPerCTA, predict, pool,
-			func(k int) (int64, error) {
-				l1Warps := k
-				if k >= a.WarpsPerCTA {
-					l1Warps = 0 // rt semantics: 0 = no bypassing
-				}
-				return runCycles(a, cfg, l1Warps, scale*BypassRunScale)
+		cctx, cancel := env.cellCtx(nil)
+		defer cancel()
+		cellErr := func() error {
+			// Step 1: profile to obtain the model inputs (Section 4.2-D
+			// uses the memory tracing of case studies A and B).
+			p, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
+				return env.profileCell(ctx, cells[i], a, cfg, instrument.Options{Memory: true})
 			})
-		if err != nil {
-			return err
+			if err != nil {
+				return err
+			}
+			rdLine := MergedReuse(p, analysis.LineReuse(cfg.L1LineSize))
+			rdElem := MergedReuse(p, analysis.DefaultElementReuse())
+			md := MergedMemDiv(p, cfg.L1LineSize)
+
+			// Step 2: measure the timing-run grid and form the prediction.
+			nCTAs, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (int, error) {
+				return timingCTAs(ctx, a, cfg, env.Scale*BypassRunScale)
+			})
+			if err != nil {
+				return err
+			}
+			ctasPerSM := bypass.ResidentCTAs(cfg, a.WarpsPerCTA, nCTAs)
+			predict := bypass.PredictFromProfiles(cfg, rdLine, rdElem, md, a.WarpsPerCTA, ctasPerSM)
+
+			// Step 3: measure baseline / oracle / prediction on native
+			// code; the sweep fans out on the same pool.
+			cmp, err := bypass.Compare(a.Name, cfg.Name, cfg, a.WarpsPerCTA, predict, env.Pool,
+				func(k int) (int64, error) {
+					l1Warps := k
+					if k >= a.WarpsPerCTA {
+						l1Warps = 0 // rt semantics: 0 = no bypassing
+					}
+					return runCycles(cctx, a, cfg, l1Warps, env.Scale*BypassRunScale)
+				})
+			if err != nil {
+				return err
+			}
+			out[i] = cmp
+			return nil
+		}()
+		if cellErr != nil {
+			if !env.KeepGoing {
+				return cellErr
+			}
+			errs[i] = cellErr
 		}
-		out[i] = cmp
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, errs, joinCellErrors(cells, errs)
 }
 
 // Figure6Configs are the Kepler L1 splits of Figure 6.
@@ -303,19 +421,53 @@ func Figure6Configs() []gpu.ArchConfig {
 	}
 }
 
+// bypassPanel renders one bypass-comparison panel: healthy rows through
+// the report, then the keep-going annotations for failed cells in order.
+func bypassPanel(w io.Writer, prefix string, rows []bypass.Comparison, errs []error) {
+	favs := bypassFavorable()
+	var healthy []bypass.Comparison
+	for i, r := range rows {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		healthy = append(healthy, r)
+	}
+	report.BypassComparison(w, healthy)
+	if errs != nil {
+		for i, e := range errs {
+			if e != nil {
+				fmt.Fprint(w, failedCell(prefix+"/"+favs[i].Name, e))
+			}
+		}
+	}
+}
+
 // WriteFigure6 renders Figure 6 (Kepler, 16 KB and 48 KB L1); the two L1
 // splits run concurrently into ordered buffers.
 func WriteFigure6(w io.Writer, pool *runner.Pool, scale int) error {
+	return WriteFigure6Env(w, DefaultEnv(pool, scale))
+}
+
+// WriteFigure6Env renders Figure 6 under an Env, annotating failed cells
+// when KeepGoing is set. The two L1-split cells of one app are named
+// "figure6/kepler-k40c-16KB/<app>" and "figure6/kepler-k40c-48KB/<app>".
+func WriteFigure6Env(w io.Writer, env Env) error {
 	cfgs := Figure6Configs()
 	bufs := make([]bytes.Buffer, len(cfgs))
-	err := runner.Concurrent(pool, len(cfgs), func(i int) error {
-		rows, err := BypassStudy(pool, cfgs[i], scale)
+	panelErrs := make([]error, len(cfgs))
+	err := runner.Concurrent(env.Pool, len(cfgs), func(i int) error {
+		cfg := cfgs[i]
+		prefix := fmt.Sprintf("figure6/%s-%dKB", cfg.Name, cfg.L1Bytes/1024)
+		rows, errs, err := bypassStudyEnv(env, prefix, cfg)
 		if err != nil {
-			return err
+			if !env.KeepGoing {
+				return err
+			}
+			panelErrs[i] = err
 		}
 		fmt.Fprintf(&bufs[i], "=== Figure 6: horizontal cache bypassing on %s, %d KB L1 (normalized time) ===\n",
-			cfgs[i].Name, cfgs[i].L1Bytes/1024)
-		report.BypassComparison(&bufs[i], rows)
+			cfg.Name, cfg.L1Bytes/1024)
+		bypassPanel(&bufs[i], prefix, rows, errs)
 		return nil
 	})
 	if err != nil {
@@ -326,20 +478,27 @@ func WriteFigure6(w io.Writer, pool *runner.Pool, scale int) error {
 			return err
 		}
 	}
-	return nil
+	return errors.Join(panelErrs...)
 }
 
 // WriteFigure7 renders Figure 7 (Pascal, 24 KB unified cache).
 func WriteFigure7(w io.Writer, pool *runner.Pool, scale int) error {
+	return WriteFigure7Env(w, DefaultEnv(pool, scale))
+}
+
+// WriteFigure7Env renders Figure 7 under an Env, annotating failed cells
+// when KeepGoing is set.
+func WriteFigure7Env(w io.Writer, env Env) error {
 	cfg := gpu.PascalP100()
-	rows, err := BypassStudy(pool, cfg, scale)
-	if err != nil {
+	prefix := "figure7/" + cfg.Name
+	rows, errs, err := bypassStudyEnv(env, prefix, cfg)
+	if err != nil && !env.KeepGoing {
 		return err
 	}
 	fmt.Fprintf(w, "=== Figure 7: horizontal cache bypassing on %s, %d KB unified cache (normalized time) ===\n",
 		cfg.Name, cfg.L1Bytes/1024)
-	report.BypassComparison(w, rows)
-	return nil
+	bypassPanel(w, prefix, rows, errs)
+	return err
 }
 
 // Overhead measures the wall-clock slowdown of memory+control-flow
@@ -352,10 +511,26 @@ func WriteFigure7(w io.Writer, pool *runner.Pool, scale int) error {
 // instrumented runs of each app execute inside runner.Exclusive so that
 // concurrent siblings cannot inflate either side of the ratio.
 func Overhead(pool *runner.Pool, cfg gpu.ArchConfig, scale int) ([]report.OverheadRow, error) {
+	rows, _, err := OverheadEnv(DefaultEnv(pool, scale), cfg)
+	return rows, err
+}
+
+// OverheadEnv is Overhead under an Env; per-cell errors align with
+// apps.InTableOrder(). Cells are named "figure10/<arch>/<app>"; worker
+// panics injected there surface as that cell's error. Note the measured
+// times are wall clock, so this figure is not run-to-run deterministic.
+func OverheadEnv(env Env, cfg gpu.ArchConfig) ([]report.OverheadRow, []error, error) {
 	const reps = 3 // repetitions to amortize wall-clock jitter on small kernels
 	order := apps.InTableOrder()
-	return runner.Map(pool, len(order), func(i int) (report.OverheadRow, error) {
+	names := make([]string, len(order))
+	for i, a := range order {
+		names[i] = a.Name
+	}
+	cells := cellNames("figure10/"+cfg.Name, names)
+	rows, errs, err := runCells(env, cells, func(ctx context.Context, i int) (report.OverheadRow, error) {
 		a := order[i]
+		inj := env.Inject.Cell(cells[i])
+		inj.MaybePanic()
 		native, err := a.Native()
 		if err != nil {
 			return report.OverheadRow{}, err
@@ -364,53 +539,98 @@ func Overhead(pool *runner.Pool, cfg gpu.ArchConfig, scale int) ([]report.Overhe
 		if err != nil {
 			return report.OverheadRow{}, err
 		}
-		return runner.Exclusive(pool, func() (report.OverheadRow, error) {
+		return runner.Exclusive(env.Pool, func() (report.OverheadRow, error) {
 			nativeSec := 0.0
 			for r := 0; r < reps; r++ {
-				ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), nil)
-				if err := a.Run(ctx, native, scale); err != nil {
+				c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), nil)
+				c.Options.Ctx = ctx
+				if err := a.Run(c, native, env.Scale); err != nil {
 					return report.OverheadRow{}, err
 				}
-				nativeSec += ctx.KernelTime.Seconds()
+				nativeSec += c.KernelTime.Seconds()
 			}
 			profiledSec := 0.0
 			for r := 0; r < reps; r++ {
 				p := profiler.New()
-				ctx := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), p)
-				if err := a.Run(ctx, prog, scale); err != nil {
+				p.TraceCap = inj.TraceCap(env.TraceCap)
+				c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), inj.Listener(p))
+				c.Options.Ctx = ctx
+				if err := a.Run(c, prog, env.Scale); err != nil {
 					return report.OverheadRow{}, err
 				}
-				profiledSec += ctx.KernelTime.Seconds()
+				profiledSec += c.KernelTime.Seconds()
 			}
 			return report.OverheadRow{
 				App: a.Name, Arch: cfg.Name, Native: nativeSec, Profiled: profiledSec,
 			}, nil
 		})
 	})
+	if err != nil && !env.KeepGoing {
+		return nil, nil, err
+	}
+	return rows, errs, err
 }
 
 // WriteFigure10 renders Figure 10 for both architectures.
 func WriteFigure10(w io.Writer, pool *runner.Pool, scale int) error {
+	return WriteFigure10Env(w, DefaultEnv(pool, scale))
+}
+
+// WriteFigure10Env renders Figure 10 under an Env, annotating failed
+// cells when KeepGoing is set.
+func WriteFigure10Env(w io.Writer, env Env) error {
 	fmt.Fprintln(w, "=== Figure 10: overhead of memory and control-flow instrumentation ===")
+	var archErrs []error
 	for _, cfg := range []gpu.ArchConfig{gpu.KeplerK40c(), gpu.PascalP100()} {
-		rows, err := Overhead(pool, cfg, scale)
+		rows, errs, err := OverheadEnv(env, cfg)
 		if err != nil {
-			return err
+			if !env.KeepGoing {
+				return err
+			}
+			archErrs = append(archErrs, err)
 		}
-		report.OverheadTable(w, rows)
+		var healthy []report.OverheadRow
+		for i, row := range rows {
+			if errs != nil && errs[i] != nil {
+				continue
+			}
+			healthy = append(healthy, row)
+		}
+		report.OverheadTable(w, healthy)
+		if errs != nil {
+			for i, e := range errs {
+				if e != nil {
+					fmt.Fprint(w, failedCell("figure10/"+cfg.Name+"/"+apps.InTableOrder()[i].Name, e))
+				}
+			}
+		}
 	}
-	return nil
+	return errors.Join(archErrs...)
 }
 
 // WriteCodeDataCentric renders the Figures 8/9 debugging views for bfs:
 // the most divergent source sites with full host-to-device call paths,
 // and the data-flow provenance of the object behind the worst site.
 func WriteCodeDataCentric(w io.Writer, pool *runner.Pool, scale int) error {
+	return WriteCodeDataCentricEnv(w, DefaultEnv(pool, scale))
+}
+
+// WriteCodeDataCentricEnv renders Figures 8/9 under an Env. The single
+// evaluation cell is named "debugviews/bfs"; with KeepGoing a failure
+// becomes the annotation line in place of both views.
+func WriteCodeDataCentricEnv(w io.Writer, env Env) error {
+	const cell = "debugviews/bfs"
 	a := apps.ByName("bfs")
-	p, err := runner.Do(pool, func() (*profiler.Profiler, error) {
-		return Profile(a, gpu.KeplerK40c(), instrument.Options{Memory: true}, scale)
+	cctx, cancel := env.cellCtx(nil)
+	defer cancel()
+	p, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
+		return env.profileCell(ctx, cell, a, gpu.KeplerK40c(), instrument.Options{Memory: true})
 	})
 	if err != nil {
+		if env.KeepGoing {
+			fmt.Fprintln(w, "=== Figures 8/9: code- and data-centric views ===")
+			fmt.Fprint(w, failedCell(cell, err))
+		}
 		return err
 	}
 	md := MergedMemDiv(p, gpu.KeplerK40c().L1LineSize)

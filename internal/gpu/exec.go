@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -44,6 +45,13 @@ type LaunchParams struct {
 	// Hooks receives instrumentation callbacks; nil runs uninstrumented
 	// code (hook calls, if present, are skipped at zero model cost).
 	Hooks Hooks
+
+	// Ctx, when non-nil, lets the host cancel a running kernel: the
+	// executor polls it at the warp-step guard (every ctxCheckInterval
+	// warp instructions) and aborts with an error wrapping ctx.Err().
+	// Cancellation is a host-side deadline, not a simulated event, so an
+	// aborted launch makes no determinism claims.
+	Ctx context.Context
 
 	// L1WarpsPerCTA enables horizontal cache bypassing (Section 4.2(D)):
 	// warps with in-CTA id < L1WarpsPerCTA access L1, the rest bypass it.
@@ -207,6 +215,11 @@ func (d *Device) Launch(kernel *ir.Function, p LaunchParams) (*LaunchResult, err
 	if kernel.SharedBytes > d.Cfg.SharedMemPerBlock {
 		return nil, fmt.Errorf("gpu: kernel %s needs %d bytes shared memory, limit %d",
 			kernel.Name, kernel.SharedBytes, d.Cfg.SharedMemPerBlock)
+	}
+	if p.Ctx != nil {
+		if err := p.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gpu: kernel %s not launched: %w", kernel.Name, err)
+		}
 	}
 
 	ls := &launchState{
@@ -420,11 +433,21 @@ func (ls *launchState) fault(w *warpState, loc ir.Loc, format string, args ...an
 	}
 }
 
+// ctxCheckInterval is how often (in warp instructions) the step guard
+// polls LaunchParams.Ctx; a power of two so the check is a mask test.
+const ctxCheckInterval = 4096
+
 // step executes one warp instruction issued at scheduler time now.
 func (ls *launchState) step(w *warpState, now int64) error {
 	ls.instrs++
 	if ls.instrs > ls.guard {
 		return ls.fault(w, ir.Loc{}, "instruction budget exhausted (%d warp instructions): runaway kernel?", ls.guard)
+	}
+	if ls.p.Ctx != nil && ls.instrs&(ctxCheckInterval-1) == 0 {
+		if err := ls.p.Ctx.Err(); err != nil {
+			return fmt.Errorf("gpu: kernel %s cancelled after %d warp instructions: %w",
+				ls.kernel.Name, ls.instrs, err)
+		}
 	}
 	fr := w.frames[len(w.frames)-1]
 	e := &fr.stack[len(fr.stack)-1]

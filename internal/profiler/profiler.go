@@ -58,6 +58,10 @@ type KernelProfile struct {
 	// ArithCounts tallies arithmetic-hook events by opcode when the
 	// arithmetic category is instrumented.
 	ArithCounts map[ir.Op]int64
+
+	// FlushErr records a failure of the final buffer flush at kernel end
+	// (only possible with a flush sink; KernelEnd cannot return it).
+	FlushErr error
 }
 
 // Profiler implements rt.Listener and gpu hook handling. One Profiler
@@ -74,6 +78,14 @@ type Profiler struct {
 	// OnKernelEnd, if set, is CUDAAdvisor's online analyzer entry point,
 	// invoked at the end of every kernel instance (Section 3.3).
 	OnKernelEnd func(*KernelProfile)
+
+	// TraceCap bounds each kernel trace's Mem and Blocks buffers at this
+	// many records (0 = unbounded, the default). With TraceSink set, full
+	// buffers flush to it (the paper's finite-buffer design); without one
+	// the trace falls back to deterministic per-warp sampling and the
+	// analyses report the coverage fraction.
+	TraceCap  int
+	TraceSink trace.FlushSink
 }
 
 // New returns an empty profiler.
@@ -129,6 +141,9 @@ func (p *Profiler) KernelLaunch(info *rt.LaunchInfo) (gpu.Hooks, error) {
 		LaunchCtx: p.hostCtx,
 	}
 	kp.BaseCtx = p.CCT.Child(p.hostCtx, trace.Frame{Func: info.Kernel, Loc: info.Loc})
+	if p.TraceCap > 0 {
+		kp.Trace.SetBounds(p.TraceCap, p.TraceCap, p.TraceSink)
+	}
 	p.Kernels = append(p.Kernels, kp)
 	if info.Tables == nil {
 		return nil, nil // native program: no hooks to serve
@@ -141,9 +156,11 @@ func (p *Profiler) KernelLaunch(info *rt.LaunchInfo) (gpu.Hooks, error) {
 func (p *Profiler) KernelEnd(info *rt.LaunchInfo, res *gpu.LaunchResult) {
 	for i := len(p.Kernels) - 1; i >= 0; i-- {
 		if p.Kernels[i].Info == info {
-			p.Kernels[i].Result = res
+			kp := p.Kernels[i]
+			kp.Result = res
+			kp.FlushErr = kp.Trace.FlushAll()
 			if p.OnKernelEnd != nil {
-				p.OnKernelEnd(p.Kernels[i])
+				p.OnKernelEnd(kp)
 			}
 			return
 		}
@@ -185,12 +202,14 @@ func (s *hookSink) OnHook(w *gpu.WarpView, call *ir.Instr, args []gpu.LaneValues
 			Ctx:   w.HookCtx,
 			Addrs: [trace.WarpSize]uint64(args[0]),
 		}
-		s.kp.Trace.Mem = append(s.kp.Trace.Mem, rec)
+		if err := s.kp.Trace.AddMem(rec); err != nil {
+			return err
+		}
 	case instrument.HookBB:
 		if len(args) != 1 {
 			return fmt.Errorf("record_bb wants 1 arg, got %d", len(args))
 		}
-		s.kp.Trace.Blocks = append(s.kp.Trace.Blocks, trace.BlockExec{
+		if err := s.kp.Trace.AddBlock(trace.BlockExec{
 			CTA:      int32(w.CTALinear),
 			Warp:     int32(w.WarpInCTA),
 			Mask:     w.ActiveMask,
@@ -198,7 +217,9 @@ func (s *hookSink) OnHook(w *gpu.WarpView, call *ir.Instr, args []gpu.LaneValues
 			Block:    int32(args[0][lane]),
 			Loc:      s.kp.Trace.Locs.Intern(call.Loc),
 			Ctx:      w.HookCtx,
-		})
+		}); err != nil {
+			return err
+		}
 	case instrument.HookPush:
 		if len(args) != 1 {
 			return fmt.Errorf("call_push wants 1 arg, got %d", len(args))

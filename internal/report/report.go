@@ -29,10 +29,20 @@ func bar(frac float64, width int) string {
 	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
 }
 
+// coverageNote renders the partial-profile annotation for an analysis
+// whose bounded trace buffer fell back to sampling, or "" for a complete
+// profile — so full runs keep byte-identical output.
+func coverageNote(partial bool, coverage float64) string {
+	if !partial {
+		return ""
+	}
+	return fmt.Sprintf(" [sampled: %.1f%% of events]", 100*coverage)
+}
+
 // ReuseHistogram writes one application's Figure 4 panel.
 func ReuseHistogram(w io.Writer, app string, r *analysis.ReuseResult) {
-	fmt.Fprintf(w, "reuse distance: %s (%d accesses, mean finite %.1f, streaming elements %d)\n",
-		app, r.Samples, r.MeanFinite(), r.Streaming)
+	fmt.Fprintf(w, "reuse distance: %s (%d accesses, mean finite %.1f, streaming elements %d)%s\n",
+		app, r.Samples, r.MeanFinite(), r.Streaming, coverageNote(r.Partial(), r.Coverage()))
 	for i := 0; i < analysis.NumReuseBuckets; i++ {
 		f := r.Fraction(i)
 		fmt.Fprintf(w, "  %7s %6.2f%% %s\n", analysis.ReuseBucketLabel(i), 100*f, bar(f, 40))
@@ -41,8 +51,8 @@ func ReuseHistogram(w io.Writer, app string, r *analysis.ReuseResult) {
 
 // MemDivDistribution writes one application's Figure 5 panel.
 func MemDivDistribution(w io.Writer, app string, r *analysis.MemDivResult) {
-	fmt.Fprintf(w, "memory divergence: %s (%d B lines, %d warp instructions, degree %.2f)\n",
-		app, r.LineSize, r.Total, r.Degree())
+	fmt.Fprintf(w, "memory divergence: %s (%d B lines, %d warp instructions, degree %.2f)%s\n",
+		app, r.LineSize, r.Total, r.Degree(), coverageNote(r.Partial(), r.Coverage()))
 	for n := 1; n <= 32; n++ {
 		f := r.Fraction(n)
 		if f < 0.0005 {
@@ -56,7 +66,8 @@ func MemDivDistribution(w io.Writer, app string, r *analysis.MemDivResult) {
 func BranchDivTable(w io.Writer, rows []BranchRow) {
 	fmt.Fprintf(w, "%-10s %18s %14s %13s\n", "Application", "# divergent blocks", "# total blocks", "% divergence")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %18d %14d %12.2f%%\n", r.App, r.Result.Divergent, r.Result.Total, r.Result.Percent())
+		fmt.Fprintf(w, "%-10s %18d %14d %12.2f%%%s\n", r.App, r.Result.Divergent, r.Result.Total,
+			r.Result.Percent(), coverageNote(r.Result.Partial(), r.Result.Coverage()))
 	}
 }
 

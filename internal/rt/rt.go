@@ -15,6 +15,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -111,6 +112,13 @@ type LaunchOptions struct {
 	L1Warps int
 	// MaxWarpInstrs overrides the runaway-kernel guard (0 = default).
 	MaxWarpInstrs int64
+	// Ctx, when non-nil, bounds every subsequent Launch: the executor
+	// polls it at the warp-step guard and aborts the kernel when the
+	// context ends (per-cell deadlines in the experiment runner). It
+	// lives in options rather than a Launch parameter because the
+	// benchmark drivers' Run signature is fixed; the experiment layer
+	// sets it once per cell before handing the context to the driver.
+	Ctx context.Context
 }
 
 // FullBypass as L1Warps sends all global accesses around the L1 cache.
@@ -162,8 +170,21 @@ func (c *Context) Malloc(n int64, label string) *HostBuf {
 	return buf
 }
 
+// AllocGate is an optional Listener extension: CudaMalloc consults it
+// before reserving device memory, so a fault-injecting listener can veto
+// allocations deterministically (testing the degradation path of a full
+// or failing device allocator).
+type AllocGate interface {
+	AllocCheck(bytes int64) error
+}
+
 // CudaMalloc allocates device global memory (the cudaMalloc hook).
 func (c *Context) CudaMalloc(n int64) (DevPtr, error) {
+	if g, ok := c.listener.(AllocGate); ok {
+		if err := g.AllocCheck(n); err != nil {
+			return 0, fmt.Errorf("rt: cudaMalloc(%d): %w", n, err)
+		}
+	}
 	addr, err := c.Dev.Mem.Alloc(n)
 	if err != nil {
 		return 0, err
@@ -261,6 +282,7 @@ func (c *Context) Launch(prog *instrument.Program, kernel string, grid, block [3
 		Hooks:         hooks,
 		L1WarpsPerCTA: l1Warps,
 		MaxWarpInstrs: c.Options.MaxWarpInstrs,
+		Ctx:           c.Options.Ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -228,5 +230,66 @@ func TestArgEncodings(t *testing.T) {
 	}
 	if Dim(5) != [3]int{5, 1, 1} || Dim2(2, 3) != [3]int{2, 3, 1} {
 		t.Error("Dim helpers wrong")
+	}
+}
+
+// gatedListener vetoes device allocations above a byte threshold — the
+// shape a fault-injecting listener uses to test allocator-failure paths.
+type gatedListener struct {
+	NopListener
+	limit   int64
+	allocs  int
+	vetoErr error
+}
+
+func (g *gatedListener) AllocCheck(n int64) error {
+	if n > g.limit {
+		return g.vetoErr
+	}
+	return nil
+}
+
+func (g *gatedListener) DeviceAlloc(p uint64, n int64, loc ir.Loc) { g.allocs++ }
+
+func TestCudaMallocConsultsAllocGate(t *testing.T) {
+	sentinel := errors.New("injected allocator failure")
+	g := &gatedListener{limit: 1024, vetoErr: sentinel}
+	ctx, _ := newCtx(t, g)
+
+	if _, err := ctx.CudaMalloc(512); err != nil {
+		t.Fatalf("allocation under the limit failed: %v", err)
+	}
+	if g.allocs != 1 {
+		t.Fatalf("DeviceAlloc events = %d, want 1", g.allocs)
+	}
+
+	_, err := ctx.CudaMalloc(4096)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the gate's sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "cudaMalloc(4096)") {
+		t.Errorf("err = %v, want the vetoed size in the message", err)
+	}
+	if g.allocs != 1 {
+		t.Errorf("vetoed allocation still raised DeviceAlloc (allocs = %d)", g.allocs)
+	}
+}
+
+// TestLaunchOptionsCtx: an ended context in LaunchOptions stops kernel
+// launches at the runtime layer.
+func TestLaunchOptionsCtx(t *testing.T) {
+	ctx, prog := newCtx(t, nil)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx.Options.Ctx = cctx
+	src, _ := ctx.CudaMalloc(64)
+	dst, _ := ctx.CudaMalloc(64)
+	_, err := ctx.Launch(prog, "copy", Dim(1), Dim(32), Ptr(src), Ptr(dst), I32(16))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ctx.Options.Ctx = nil
+	if _, err := ctx.Launch(prog, "copy", Dim(1), Dim(32), Ptr(src), Ptr(dst), I32(16)); err != nil {
+		t.Fatalf("launch without ctx failed: %v", err)
 	}
 }

@@ -2,7 +2,6 @@ package runner
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,25 +94,53 @@ func TestMapBoundsConcurrency(t *testing.T) {
 }
 
 func TestConcurrentJoinsAndOrdersErrors(t *testing.T) {
+	errTask4 := errors.New("task 4 failed")
+	errTask15 := errors.New("task 15 failed")
 	for _, p := range []*Pool{nil, New(3)} {
 		out := make([]int, 20)
 		err := Concurrent(p, 20, func(i int) error {
 			out[i] = i + 1
-			if i == 4 || i == 15 {
-				return fmt.Errorf("task %d failed", i)
+			switch i {
+			case 4:
+				return errTask4
+			case 15:
+				return errTask15
 			}
 			return nil
 		})
-		if err == nil || err.Error() != "task 4 failed" {
-			t.Errorf("workers=%d: err = %v, want task 4 failed", p.Workers(), err)
+		// The primary is the lowest-index failure, serial and parallel.
+		if !errors.Is(err, errTask4) {
+			t.Errorf("workers=%d: err = %v, want primary %v", p.Workers(), err, errTask4)
 		}
-		// With a live pool every task ran despite the failures.
-		if p != nil {
-			for i, v := range out {
-				if v != i+1 {
-					t.Errorf("out[%d] = %d, want %d", i, v, i+1)
-				}
+		if p == nil {
+			// The serial path stops at the first failure: bare error.
+			if err != errTask4 {
+				t.Errorf("serial err = %v, want the bare first error", err)
 			}
+			continue
+		}
+		// With a live pool every task ran despite the failures, and the
+		// aggregate exposes both errors.
+		for i, v := range out {
+			if v != i+1 {
+				t.Errorf("out[%d] = %d, want %d", i, v, i+1)
+			}
+		}
+		if !errors.Is(err, errTask15) {
+			t.Errorf("aggregate lost the second failure: %v", err)
+		}
+		var agg *Errors
+		if !errors.As(err, &agg) {
+			t.Fatalf("err = %T, want *Errors", err)
+		}
+		if agg.Primary() != errTask4 {
+			t.Errorf("Primary() = %v, want %v", agg.Primary(), errTask4)
+		}
+		if jobs := agg.Jobs(); len(jobs) != 2 || jobs[0] != 4 || jobs[1] != 15 {
+			t.Errorf("Jobs() = %v, want [4 15]", jobs)
+		}
+		if join := agg.Join(); !errors.Is(join, errTask4) || !errors.Is(join, errTask15) {
+			t.Errorf("Join() lost errors: %v", join)
 		}
 	}
 }

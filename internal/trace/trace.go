@@ -68,8 +68,33 @@ type BlockExec struct {
 // every live thread of the warp executed it.
 func (b BlockExec) Divergent() bool { return b.Mask != b.InitMask }
 
+// FlushSink consumes full trace buffers at overflow, mirroring the
+// paper's design of flushing the finite GPU global-memory buffers to the
+// host when they fill (Section 3.2). A sink receives every record exactly
+// once: batches at each overflow, plus the final partial batch when
+// FlushAll runs at kernel exit. Sink errors abort the kernel (they
+// surface as hook errors, which the executor turns into gpu faults).
+type FlushSink interface {
+	FlushMem(t *KernelTrace, recs []MemAccess) error
+	FlushBlocks(t *KernelTrace, recs []BlockExec) error
+}
+
 // KernelTrace is the full profile buffer of one kernel instance, copied
 // "back to the host" at kernel exit.
+//
+// The Mem and Blocks buffers are unbounded by default (MemCap and
+// BlocksCap zero). With a cap set, AddMem/AddBlock keep the buffer
+// within the cap by one of two policies:
+//
+//   - with a Sink, the full buffer is flushed to it at overflow and
+//     reset (the paper's buffer-flush design);
+//   - without a Sink, a deterministic sampling fallback keeps every Nth
+//     access per warp (GPA-style degradation): the sampling period
+//     starts at 1 and doubles at each overflow, and the buffer is
+//     compacted to exactly the records the new period would have kept.
+//
+// MemSeen/BlocksSeen count every event offered, so analyses can report
+// their coverage fraction instead of silently undercounting.
 type KernelTrace struct {
 	Kernel   string
 	Instance int
@@ -80,7 +105,30 @@ type KernelTrace struct {
 	Blocks []BlockExec
 
 	Locs *LocTable
+
+	// MemCap/BlocksCap bound the buffers (0 = unbounded). Set them via
+	// SetBounds before recording.
+	MemCap    int
+	BlocksCap int
+	Sink      FlushSink
+
+	// MemSeen/BlocksSeen count events offered to AddMem/AddBlock;
+	// MemFlushed/BlocksFlushed count records already handed to the Sink.
+	MemSeen       int64
+	BlocksSeen    int64
+	MemFlushed    int64
+	BlocksFlushed int64
+
+	// MemSampleN/BlockSampleN are the current sampling periods (power of
+	// two, 1 = record everything); meaningful only in sampling mode.
+	MemSampleN   int64
+	BlockSampleN int64
+
+	memWarpSeen   map[warpID]int64
+	blockWarpSeen map[warpID]int64
 }
+
+type warpID struct{ cta, warp int32 }
 
 // NewKernelTrace returns an empty trace with a fresh location table.
 func NewKernelTrace(kernel string, instance int, grid, block [3]int) *KernelTrace {
@@ -88,6 +136,160 @@ func NewKernelTrace(kernel string, instance int, grid, block [3]int) *KernelTrac
 		Kernel: kernel, Instance: instance, Grid: grid, Block: block,
 		Locs: NewLocTable(),
 	}
+}
+
+// SetBounds caps the Mem and Blocks buffers at memCap and blocksCap
+// records (0 leaves a buffer unbounded). With a non-nil sink, full
+// buffers are flushed to it; without one the sampling fallback engages.
+func (t *KernelTrace) SetBounds(memCap, blocksCap int, sink FlushSink) {
+	t.MemCap, t.BlocksCap, t.Sink = memCap, blocksCap, sink
+	t.MemSampleN, t.BlockSampleN = 1, 1
+	if sink == nil {
+		t.memWarpSeen = make(map[warpID]int64)
+		t.blockWarpSeen = make(map[warpID]int64)
+	}
+}
+
+// AddMem records one warp-level memory event under the buffer policy.
+func (t *KernelTrace) AddMem(rec MemAccess) error {
+	t.MemSeen++
+	if t.MemCap <= 0 {
+		t.Mem = append(t.Mem, rec)
+		return nil
+	}
+	if t.Sink != nil {
+		if len(t.Mem) >= t.MemCap {
+			if err := t.Sink.FlushMem(t, t.Mem); err != nil {
+				return fmt.Errorf("trace: mem buffer flush: %w", err)
+			}
+			t.MemFlushed += int64(len(t.Mem))
+			t.Mem = t.Mem[:0]
+		}
+		t.Mem = append(t.Mem, rec)
+		return nil
+	}
+	// Sampling fallback: keep per-warp event seq % MemSampleN == 0.
+	if t.MemSampleN <= 0 { // cap set without SetBounds
+		t.MemSampleN = 1
+	}
+	if t.memWarpSeen == nil {
+		t.memWarpSeen = make(map[warpID]int64)
+	}
+	id := warpID{rec.CTA, rec.Warp}
+	seq := t.memWarpSeen[id]
+	t.memWarpSeen[id] = seq + 1
+	if seq%t.MemSampleN != 0 {
+		return nil
+	}
+	if len(t.Mem) >= t.MemCap {
+		// Double the period and compact: keeping every other record per
+		// warp turns the kept set from seq%N==0 into seq%2N==0 exactly.
+		t.MemSampleN *= 2
+		t.Mem = compactEveryOther(t.Mem, func(m *MemAccess) warpID {
+			return warpID{m.CTA, m.Warp}
+		})
+		if seq%t.MemSampleN != 0 {
+			return nil
+		}
+	}
+	t.Mem = append(t.Mem, rec)
+	return nil
+}
+
+// AddBlock records one warp-level basic-block event under the buffer
+// policy (same semantics as AddMem).
+func (t *KernelTrace) AddBlock(rec BlockExec) error {
+	t.BlocksSeen++
+	if t.BlocksCap <= 0 {
+		t.Blocks = append(t.Blocks, rec)
+		return nil
+	}
+	if t.Sink != nil {
+		if len(t.Blocks) >= t.BlocksCap {
+			if err := t.Sink.FlushBlocks(t, t.Blocks); err != nil {
+				return fmt.Errorf("trace: block buffer flush: %w", err)
+			}
+			t.BlocksFlushed += int64(len(t.Blocks))
+			t.Blocks = t.Blocks[:0]
+		}
+		t.Blocks = append(t.Blocks, rec)
+		return nil
+	}
+	if t.BlockSampleN <= 0 { // cap set without SetBounds
+		t.BlockSampleN = 1
+	}
+	if t.blockWarpSeen == nil {
+		t.blockWarpSeen = make(map[warpID]int64)
+	}
+	id := warpID{rec.CTA, rec.Warp}
+	seq := t.blockWarpSeen[id]
+	t.blockWarpSeen[id] = seq + 1
+	if seq%t.BlockSampleN != 0 {
+		return nil
+	}
+	if len(t.Blocks) >= t.BlocksCap {
+		t.BlockSampleN *= 2
+		t.Blocks = compactEveryOther(t.Blocks, func(b *BlockExec) warpID {
+			return warpID{b.CTA, b.Warp}
+		})
+		if seq%t.BlockSampleN != 0 {
+			return nil
+		}
+	}
+	t.Blocks = append(t.Blocks, rec)
+	return nil
+}
+
+// compactEveryOther keeps every other record per warp, in order: kept
+// positions 0, 2, 4, … of each warp's subsequence. If the kept set was
+// the per-warp seqs divisible by N, the result is exactly those
+// divisible by 2N.
+func compactEveryOther[T any](recs []T, key func(*T) warpID) []T {
+	pos := make(map[warpID]int64)
+	out := recs[:0]
+	for i := range recs {
+		id := key(&recs[i])
+		if pos[id]%2 == 0 {
+			out = append(out, recs[i])
+		}
+		pos[id]++
+	}
+	return out
+}
+
+// FlushAll hands any buffered records to the Sink (the kernel-exit copy
+// back to the host). A no-op without a sink.
+func (t *KernelTrace) FlushAll() error {
+	if t.Sink == nil {
+		return nil
+	}
+	if len(t.Mem) > 0 {
+		if err := t.Sink.FlushMem(t, t.Mem); err != nil {
+			return fmt.Errorf("trace: final mem flush: %w", err)
+		}
+		t.MemFlushed += int64(len(t.Mem))
+		t.Mem = t.Mem[:0]
+	}
+	if len(t.Blocks) > 0 {
+		if err := t.Sink.FlushBlocks(t, t.Blocks); err != nil {
+			return fmt.Errorf("trace: final block flush: %w", err)
+		}
+		t.BlocksFlushed += int64(len(t.Blocks))
+		t.Blocks = t.Blocks[:0]
+	}
+	return nil
+}
+
+// MemCoverage returns how many memory events the buffer currently holds
+// versus how many were offered: the sampling coverage an analysis over
+// t.Mem should report. seen is 0 when nothing was recorded at all.
+func (t *KernelTrace) MemCoverage() (recorded, seen int64) {
+	return int64(len(t.Mem)), t.MemSeen
+}
+
+// BlocksCoverage is MemCoverage for the basic-block buffer.
+func (t *KernelTrace) BlocksCoverage() (recorded, seen int64) {
+	return int64(len(t.Blocks)), t.BlocksSeen
 }
 
 // LocTable interns source locations.
@@ -112,10 +314,16 @@ func (t *LocTable) Intern(loc ir.Loc) int32 {
 	return id
 }
 
-// Loc returns the location for an id.
+// UnknownLoc is the sentinel returned for out-of-range location ids: an
+// explicit "??" file, distinguishable from any real interned entry
+// (Intern never stores it) and from a merely-empty ir.Loc.
+var UnknownLoc = ir.Loc{File: "??"}
+
+// Loc returns the location for an id, or UnknownLoc if the id was never
+// interned in this table.
 func (t *LocTable) Loc(id int32) ir.Loc {
 	if id < 0 || int(id) >= len(t.locs) {
-		return ir.Loc{}
+		return UnknownLoc
 	}
 	return t.locs[id]
 }
@@ -187,10 +395,16 @@ func (t *ContextTree) Parent(id int32) int32 {
 	return t.parent[id]
 }
 
-// Frame returns the frame of a context node.
+// UnknownFrame is the sentinel returned for out-of-range context ids: an
+// explicit "??" function, distinguishable from the root's empty frame
+// and from any interned node.
+var UnknownFrame = Frame{Func: "??", Loc: UnknownLoc}
+
+// Frame returns the frame of a context node, or UnknownFrame if the id
+// does not name a node of this tree.
 func (t *ContextTree) Frame(id int32) Frame {
 	if id < 0 || int(id) >= len(t.frame) {
-		return Frame{}
+		return UnknownFrame
 	}
 	return t.frame[id]
 }

@@ -26,8 +26,11 @@ func TestLocTableInterning(t *testing.T) {
 	if lt.Len() != 2 {
 		t.Errorf("Len = %d, want 2", lt.Len())
 	}
-	if (lt.Loc(99) != ir.Loc{}) {
-		t.Error("out-of-range id should return zero Loc")
+	if lt.Loc(99) != UnknownLoc || lt.Loc(-1) != UnknownLoc {
+		t.Error("out-of-range id should return the UnknownLoc sentinel")
+	}
+	if lt.Loc(99) == (ir.Loc{}) {
+		t.Error("sentinel must be distinguishable from a zero Loc")
 	}
 }
 
