@@ -23,6 +23,7 @@ import (
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/profcache"
 	"cudaadvisor/internal/rt"
 	"cudaadvisor/internal/runner"
 )
@@ -126,6 +127,37 @@ func speedupWorkers() int {
 		return n
 	}
 	return 4
+}
+
+// BenchmarkAllWarmCache times the full evaluation (`all`) against a warm
+// on-disk profile cache: one untimed cold pass fills the store, then
+// every timed iteration replays it warm, where all profiling and sweep
+// cells are disk hits and only rendering, the debug views, and the
+// wall-clock overhead study (which is never cached) run for real. The
+// cold-over-warm-x metric is the wall-clock reduction the cache buys a
+// CI rerun.
+func BenchmarkAllWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	runAll := func() time.Duration {
+		env := experiments.DefaultEnv(nil, 1)
+		env.Cache = profcache.New(dir)
+		t0 := time.Now()
+		if err := experiments.WriteAllEnv(io.Discard, env); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	cold := runAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm := runAll()
+		if i == 0 {
+			b.ReportMetric(cold.Seconds()/warm.Seconds(), "cold-over-warm-x")
+			if warm >= cold {
+				b.Errorf("warm all (%v) is not faster than cold (%v)", warm, cold)
+			}
+		}
+	}
 }
 
 // BenchmarkTable3BranchDivergence regenerates the branch-divergence table.

@@ -29,6 +29,12 @@
 //	                   cell still renders, and the exit status is 1
 //	-inject SPEC       deterministic fault injection for resilience
 //	                   testing (see internal/faultinject)
+//	-cache             content-addressed result cache: repeated profiling
+//	                   and timing cells within one invocation are served
+//	                   from one shared run (byte-identical output)
+//	-cache-dir DIR     persist the cache in DIR so later runs start warm
+//	                   (implies -cache); corrupt entries are just misses
+//	-cache-stats       print a hit/miss summary line to stderr
 //
 // Flags for profile:
 //
@@ -43,8 +49,6 @@
 package main
 
 import (
-	"bytes"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +63,7 @@ import (
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/irtext"
+	"cudaadvisor/internal/profcache"
 	"cudaadvisor/internal/report"
 	"cudaadvisor/internal/runner"
 	"cudaadvisor/internal/staticadvisor"
@@ -76,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell deadline (0 = none), e.g. 30s")
 	keepGoing := fs.Bool("keep-going", false, "annotate failing cells and continue; exit 1 at the end")
 	injectSpec := fs.String("inject", "", "fault-injection spec, e.g. seed=1,cells=3,hookerr=100")
+	cacheOn := fs.Bool("cache", false, "share repeated profiling/timing cells in-process (content-addressed memoizer)")
+	cacheDir := fs.String("cache-dir", "", "persist the profile cache here (implies -cache); corrupt entries are misses")
+	cacheStats := fs.Bool("cache-stats", false, "print a cache summary line to stderr after the command")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	env.TraceCap = *traceCap
 	env.CellTimeout = *cellTimeout
 	env.KeepGoing = *keepGoing
+	if *cacheOn || *cacheDir != "" {
+		env.Cache = profcache.New(*cacheDir)
+	}
 	if *injectSpec != "" {
 		inj, err := faultinject.Parse(*injectSpec)
 		if err != nil {
@@ -122,60 +133,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "debugviews":
 		err = experiments.WriteCodeDataCentricEnv(stdout, env)
 	case "all":
-		err = allCmd(env, stdout)
+		err = experiments.WriteAllEnv(stdout, env)
 	default:
 		usage(stderr)
 		return 2
+	}
+	if *cacheStats {
+		// The summary goes to stderr so stdout stays byte-identical to an
+		// uncached run — the property the cache is tested against.
+		report.CacheStats(stderr, env.Cache)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "cudaadvisor:", err)
 		return 1
 	}
 	return 0
-}
-
-// allCmd regenerates every table and figure. The analysis experiments run
-// concurrently (each figure is a coordinator whose simulator runs are
-// gated on the shared pool) and are printed in paper order; the
-// wall-clock overhead study (Figure 10) runs afterwards, alone, so the
-// concurrent figures cannot distort its timing.
-//
-// With -keep-going, a failing figure does not abort the others: every
-// figure still renders (injured cells annotated in place), all buffers
-// are printed, and the aggregated error produces exit status 1.
-func allCmd(env experiments.Env, stdout io.Writer) error {
-	figures := []func(w io.Writer) error{
-		func(w io.Writer) error { return experiments.WriteFigure4Env(w, env) },
-		func(w io.Writer) error { return experiments.WriteFigure5Env(w, env) },
-		func(w io.Writer) error { return experiments.WriteTable3Env(w, env) },
-		func(w io.Writer) error { return experiments.WriteFigure6Env(w, env) },
-		func(w io.Writer) error { return experiments.WriteFigure7Env(w, env) },
-		func(w io.Writer) error { return experiments.WriteCodeDataCentricEnv(w, env) },
-	}
-	bufs := make([]bytes.Buffer, len(figures))
-	figErrs := make([]error, len(figures))
-	err := runner.Concurrent(env.Pool, len(figures), func(i int) error {
-		err := figures[i](&bufs[i])
-		if err != nil && env.KeepGoing {
-			figErrs[i] = err
-			return nil
-		}
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	for i := range bufs {
-		if _, err := stdout.Write(bufs[i].Bytes()); err != nil {
-			return err
-		}
-	}
-	err = experiments.WriteFigure10Env(stdout, env)
-	if err != nil && !env.KeepGoing {
-		return err
-	}
-	figErrs = append(figErrs, err)
-	return errors.Join(figErrs...)
 }
 
 func usage(w io.Writer) {
@@ -190,6 +162,11 @@ global flags:
   -keep-going        annotate failing cells, render everything else, exit 1
   -inject SPEC       deterministic fault injection (seed=,cells=,hookerr=,
                      faultat=file:line,allocfail=,overflow=,panic=)
+  -cache             share repeated profiling/timing cells in-process; output
+                     stays byte-identical to an uncached run
+  -cache-dir DIR     persist the cache in DIR across runs (implies -cache);
+                     versioned, corruption-tolerant (bad entries = misses)
+  -cache-stats       print "cache: ..." hit/miss summary to stderr at the end
 
 commands:
   apps         list the benchmark applications (Table 2)

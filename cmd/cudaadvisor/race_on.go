@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this binary was built with the race
+// detector; the full `all` cache matrix test skips under it (the race
+// configurations of the cache are covered by the cheap figure-level and
+// profcache tests) because six full evaluations under -race exceed any
+// reasonable test budget.
+const raceEnabled = true

@@ -82,6 +82,23 @@ func (r *BranchDivResult) Blocks() []*BlockDivergence {
 	return out
 }
 
+// AddBlock inserts (or accumulates into) the per-block aggregate for
+// b.ID. It exists so external serializers (internal/profcache) can
+// rebuild a result's block table, which is otherwise unexported; the
+// merge rule matches Merge's.
+func (r *BranchDivResult) AddBlock(b BlockDivergence) {
+	if r.blocks == nil {
+		r.blocks = make(map[int32]*BlockDivergence)
+	}
+	if cur, ok := r.blocks[b.ID]; ok {
+		cur.Execs += b.Execs
+		cur.Divergent += b.Divergent
+		cur.Threads += b.Threads
+		return
+	}
+	r.blocks[b.ID] = &b
+}
+
 // Merge accumulates other into r.
 func (r *BranchDivResult) Merge(other *BranchDivResult) {
 	r.Divergent += other.Divergent

@@ -28,6 +28,7 @@ import (
 	"cudaadvisor/internal/bypass"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profcache"
 	"cudaadvisor/internal/profiler"
 	"cudaadvisor/internal/report"
 	"cudaadvisor/internal/rt"
@@ -54,30 +55,20 @@ func Profile(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale i
 }
 
 // MergedReuse aggregates the reuse profile over every kernel instance.
+// The cache (internal/profcache) derives its entries through the same
+// function, which is what makes cached and uncached output identical.
 func MergedReuse(p *profiler.Profiler, opt analysis.ReuseOptions) *analysis.ReuseResult {
-	var total analysis.ReuseResult
-	for _, kp := range p.Kernels {
-		total.Merge(analysis.ReuseDistance(kp.Trace, opt))
-	}
-	return &total
+	return profcache.MergedReuse(p, opt)
 }
 
 // MergedMemDiv aggregates memory divergence over every kernel instance.
 func MergedMemDiv(p *profiler.Profiler, lineSize int) *analysis.MemDivResult {
-	total := &analysis.MemDivResult{LineSize: lineSize}
-	for _, kp := range p.Kernels {
-		total.Merge(analysis.MemDivergence(kp.Trace, lineSize))
-	}
-	return total
+	return profcache.MergedMemDiv(p, lineSize)
 }
 
 // MergedBranchDiv aggregates branch divergence over every kernel instance.
 func MergedBranchDiv(p *profiler.Profiler) *analysis.BranchDivResult {
-	total := &analysis.BranchDivResult{}
-	for _, kp := range p.Kernels {
-		total.Merge(analysis.BranchDivergence(kp.Trace, kp.Tables))
-	}
-	return total
+	return profcache.MergedBranchDiv(p)
 }
 
 // Figure4Apps are the seven applications shown in Figure 4 (bfs and nn
@@ -97,11 +88,11 @@ func Figure4(pool *runner.Pool, scale int) (map[string]*analysis.ReuseResult, er
 func Figure4Env(env Env) (map[string]*analysis.ReuseResult, []error, error) {
 	cells := cellNames("figure4", Figure4Apps)
 	res, errs, err := runCells(env, cells, func(ctx context.Context, i int) (*analysis.ReuseResult, error) {
-		p, err := env.profileCell(ctx, cells[i], apps.ByName(Figure4Apps[i]), gpu.KeplerK40c(), instrument.Options{Memory: true})
+		r, err := env.resultsCell(ctx, cells[i], apps.ByName(Figure4Apps[i]), gpu.KeplerK40c(), instrument.Options{Memory: true})
 		if err != nil {
 			return nil, err
 		}
-		return MergedReuse(p, analysis.DefaultElementReuse()), nil
+		return r.ReuseElem(), nil
 	})
 	if err != nil && !env.KeepGoing {
 		return nil, nil, err
@@ -154,11 +145,11 @@ func figure5Env(env Env, cfg gpu.ArchConfig) (map[string]*analysis.MemDivResult,
 	}
 	cells := cellNames("figure5/"+cfg.Name, names)
 	res, errs, err := runCells(env, cells, func(ctx context.Context, i int) (*analysis.MemDivResult, error) {
-		p, err := env.profileCell(ctx, cells[i], order[i], cfg, instrument.Options{Memory: true})
+		r, err := env.resultsCell(ctx, cells[i], order[i], cfg, instrument.Options{Memory: true})
 		if err != nil {
 			return nil, err
 		}
-		return MergedMemDiv(p, cfg.L1LineSize), nil
+		return r.MemDiv(), nil
 	})
 	if err != nil && !env.KeepGoing {
 		return nil, nil, err
@@ -231,11 +222,11 @@ func Table3Env(env Env) ([]report.BranchRow, []error, error) {
 	}
 	cells := cellNames("table3", names)
 	rows, errs, err := runCells(env, cells, func(ctx context.Context, i int) (report.BranchRow, error) {
-		p, err := env.profileCell(ctx, cells[i], order[i], gpu.PascalP100(), instrument.Options{Blocks: true})
+		r, err := env.resultsCell(ctx, cells[i], order[i], gpu.PascalP100(), instrument.Options{Blocks: true})
 		if err != nil {
 			return report.BranchRow{}, err
 		}
-		return report.BranchRow{App: order[i].Name, Result: MergedBranchDiv(p)}, nil
+		return report.BranchRow{App: order[i].Name, Result: r.BranchDiv()}, nil
 	})
 	if err != nil && !env.KeepGoing {
 		return nil, nil, err
@@ -274,22 +265,25 @@ func WriteTable3Env(w io.Writer, env Env) error {
 	return err
 }
 
-// runCycles executes an app natively with the given bypassing setting and
-// returns the summed modeled kernel cycles. ctx (which may be nil) bounds
-// the kernels via the executor's step-guard poll.
-func runCycles(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (int64, error) {
+// measureNative executes an app natively with the given bypassing
+// setting and returns the cycle-model measurements: the summed modeled
+// kernel cycles and the largest launched grid in CTAs. The result is a
+// pure function of (app, cfg, l1Warps, scale) — the modeled cycle count
+// involves no wall clock — which is what makes it cacheable. ctx (which
+// may be nil) bounds the kernels via the executor's step-guard poll.
+func measureNative(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (profcache.CycleStats, error) {
 	prog, err := app.Native()
 	if err != nil {
-		return 0, err
+		return profcache.CycleStats{}, err
 	}
 	counter := rt.NewCycleCounter()
 	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
 	c.Options.L1Warps = l1Warps
 	c.Options.Ctx = ctx
 	if err := app.Run(c, prog, scale); err != nil {
-		return 0, err
+		return profcache.CycleStats{}, err
 	}
-	return counter.Cycles, nil
+	return profcache.CycleStats{Cycles: counter.Cycles, MaxCTAs: counter.MaxCTAs}, nil
 }
 
 // BypassRunScale is the input scale for the bypassing timing runs: large
@@ -305,17 +299,8 @@ const BypassRunScale = 2
 // every grid scales quadratically with the input scale and so fed the
 // model a 2× inflated CTA count for 1D-grid applications (bfs).
 func timingCTAs(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, scale int) (int, error) {
-	prog, err := app.Native()
-	if err != nil {
-		return 0, err
-	}
-	counter := rt.NewCycleCounter()
-	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
-	c.Options.Ctx = ctx
-	if err := app.Run(c, prog, scale); err != nil {
-		return 0, err
-	}
-	return counter.MaxCTAs, nil
+	st, err := measureNative(ctx, app, cfg, 0, scale)
+	return st.MaxCTAs, err
 }
 
 // BypassStudy runs the Figures 6/7 comparison for one architecture
@@ -362,20 +347,26 @@ func bypassStudyEnv(env Env, prefix string, cfg gpu.ArchConfig) ([]bypass.Compar
 		defer cancel()
 		cellErr := func() error {
 			// Step 1: profile to obtain the model inputs (Section 4.2-D
-			// uses the memory tracing of case studies A and B).
-			p, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
-				return env.profileCell(ctx, cells[i], a, cfg, instrument.Options{Memory: true})
+			// uses the memory tracing of case studies A and B). With a
+			// cache this is the same cell Figure 5 profiles, served from
+			// one shared fill.
+			r, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (*profcache.Results, error) {
+				return env.resultsCell(ctx, cells[i], a, cfg, instrument.Options{Memory: true})
 			})
 			if err != nil {
 				return err
 			}
-			rdLine := MergedReuse(p, analysis.LineReuse(cfg.L1LineSize))
-			rdElem := MergedReuse(p, analysis.DefaultElementReuse())
-			md := MergedMemDiv(p, cfg.L1LineSize)
+			rdLine := r.ReuseLine()
+			rdElem := r.ReuseElem()
+			md := r.MemDiv()
 
 			// Step 2: measure the timing-run grid and form the prediction.
+			// The measurement run is the baseline sweep point (no
+			// bypassing, timing scale), so with a cache the two share one
+			// native run.
 			nCTAs, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (int, error) {
-				return timingCTAs(ctx, a, cfg, env.Scale*BypassRunScale)
+				st, err := env.nativeStats(ctx, a, cfg, 0, env.Scale*BypassRunScale)
+				return st.MaxCTAs, err
 			})
 			if err != nil {
 				return err
@@ -391,7 +382,8 @@ func bypassStudyEnv(env Env, prefix string, cfg gpu.ArchConfig) ([]bypass.Compar
 					if k >= a.WarpsPerCTA {
 						l1Warps = 0 // rt semantics: 0 = no bypassing
 					}
-					return runCycles(cctx, a, cfg, l1Warps, env.Scale*BypassRunScale)
+					st, err := env.nativeStats(cctx, a, cfg, l1Warps, env.Scale*BypassRunScale)
+					return st.Cycles, err
 				})
 			if err != nil {
 				return err

@@ -1,0 +1,362 @@
+package profcache_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/experiments"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profcache"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/report"
+)
+
+var bothOpts = instrument.Options{Memory: true, Blocks: true}
+
+// profileBFS runs the cheapest real profiling cell with both analyses
+// instrumented, so round-trip tests cover non-empty site and block tables.
+func profileBFS(t *testing.T) *profiler.Profiler {
+	t.Helper()
+	p, err := experiments.Profile(apps.ByName("bfs"), gpu.KeplerK40c(), bothOpts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// render exercises every analysis of a bundle the way the figures do,
+// plus full dumps of the per-site and per-block tables, so byte equality
+// here means the serialized form loses nothing any consumer reads.
+func render(res *profcache.Results) string {
+	var b bytes.Buffer
+	report.ReuseHistogram(&b, "bfs", res.ReuseElem())
+	report.ReuseHistogram(&b, "bfs-line", res.ReuseLine())
+	report.MemDivDistribution(&b, "bfs", res.MemDiv())
+	report.BranchDivTable(&b, []report.BranchRow{{App: "bfs", Result: res.BranchDiv()}})
+	for _, s := range res.MemDiv().Sites() {
+		fmt.Fprintf(&b, "site %+v\n", *s)
+	}
+	for _, bl := range res.BranchDiv().Blocks() {
+		fmt.Fprintf(&b, "block %+v\n", *bl)
+	}
+	return b.String()
+}
+
+// TestKeySensitivity: changing any one determining input — app IR, a
+// config field, an instrument option, the scale, the trace cap, or the
+// cycles-run bypass setting — changes the key, and equal inputs produce
+// equal keys.
+func TestKeySensitivity(t *testing.T) {
+	app := apps.ByName("bfs")
+	cfg := gpu.KeplerK40c()
+	opts := instrument.Options{Memory: true}
+
+	irApp := *app
+	irApp.Source += "\n; perturbed"
+	otherApp := *app
+	otherApp.Name = "bfs2"
+	cfgL1 := cfg
+	cfgL1.L1Bytes += 1024
+	cfgLine := cfg
+	cfgLine.L1LineSize = 32
+	cfgName := cfg
+	cfgName.Name = "kepler-variant"
+
+	keys := []struct {
+		name string
+		key  profcache.Key
+	}{
+		{"base", profcache.ProfileKey(app, cfg, opts, 1, 0)},
+		{"app name", profcache.ProfileKey(&otherApp, cfg, opts, 1, 0)},
+		{"app IR", profcache.ProfileKey(&irApp, cfg, opts, 1, 0)},
+		{"cfg L1Bytes", profcache.ProfileKey(app, cfgL1, opts, 1, 0)},
+		{"cfg L1LineSize", profcache.ProfileKey(app, cfgLine, opts, 1, 0)},
+		{"cfg Name", profcache.ProfileKey(app, cfgName, opts, 1, 0)},
+		{"instrument option", profcache.ProfileKey(app, cfg, bothOpts, 1, 0)},
+		{"scale", profcache.ProfileKey(app, cfg, opts, 2, 0)},
+		{"trace cap", profcache.ProfileKey(app, cfg, opts, 1, 4096)},
+		{"cycles", profcache.CyclesKey(app, cfg, 0, 1)},
+		{"cycles bypass setting", profcache.CyclesKey(app, cfg, 3, 1)},
+		{"cycles scale", profcache.CyclesKey(app, cfg, 0, 2)},
+	}
+	seen := make(map[string]string)
+	for _, k := range keys {
+		id := k.key.ID()
+		if prev, dup := seen[id]; dup {
+			t.Errorf("key %q collides with %q: %s", k.name, prev, k.key.Canonical())
+		}
+		seen[id] = k.name
+	}
+	if got := profcache.ProfileKey(app, cfg, opts, 1, 0).ID(); got != keys[0].key.ID() {
+		t.Errorf("identical inputs produced different keys: %s vs %s", got, keys[0].key.ID())
+	}
+}
+
+// TestSingleFlight: concurrent requests for the same key run exactly one
+// fill and share its result; distinct keys fill independently. Run under
+// -race this is the stress test for the memoizer's synchronization.
+func TestSingleFlight(t *testing.T) {
+	const keys, waiters = 3, 16
+	c := profcache.New("")
+	app := apps.ByName("bfs")
+	var fills [keys]atomic.Int64
+	results := make([][]*profcache.Results, keys)
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		results[k] = make([]*profcache.Results, waiters)
+		key := profcache.ProfileKey(app, gpu.KeplerK40c(), instrument.Options{Memory: true}, k+1, 0)
+		for w := 0; w < waiters; w++ {
+			wg.Add(1)
+			go func(k, w int, key profcache.Key) {
+				defer wg.Done()
+				res, err := c.Profile(context.Background(), key, 128, func(context.Context) (*profiler.Profiler, error) {
+					fills[k].Add(1)
+					return profiler.New(), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[k][w] = res
+			}(k, w, key)
+		}
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := fills[k].Load(); n != 1 {
+			t.Errorf("key %d: %d fills, want exactly 1 (single-flight)", k, n)
+		}
+		for w := 1; w < waiters; w++ {
+			if results[k][w] != results[k][0] {
+				t.Errorf("key %d waiter %d got a different Results object", k, w)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.Misses != keys || s.MemoHits != keys*(waiters-1) || s.DiskHits != 0 {
+		t.Errorf("stats = %+v, want %d misses and %d memo hits", s, keys, keys*(waiters-1))
+	}
+}
+
+// TestFillErrorNotCached: a failing fill propagates its error and leaves
+// no entry behind — the next request retries, exactly like not caching.
+func TestFillErrorNotCached(t *testing.T) {
+	dir := t.TempDir()
+	c := profcache.New(dir)
+	key := profcache.CyclesKey(apps.ByName("bfs"), gpu.KeplerK40c(), 0, 1)
+	boom := fmt.Errorf("injected fill failure")
+	if _, err := c.Cycles(context.Background(), key, func(context.Context) (profcache.CycleStats, error) {
+		return profcache.CycleStats{}, boom
+	}); err != boom {
+		t.Fatalf("err = %v, want the fill error", err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.cell")); len(files) != 0 {
+		t.Errorf("failed fill wrote %v; errors must never be stored", files)
+	}
+	got, err := c.Cycles(context.Background(), key, func(context.Context) (profcache.CycleStats, error) {
+		return profcache.CycleStats{Cycles: 42, MaxCTAs: 7}, nil
+	})
+	if err != nil || got.Cycles != 42 {
+		t.Fatalf("retry after failed fill = %+v, %v; want a fresh successful fill", got, err)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 miss and 1 store (the failed fill counts neither)", s)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context ends while another
+// request owns the fill gets its context error, not a hang.
+func TestWaiterCancellation(t *testing.T) {
+	c := profcache.New("")
+	key := profcache.CyclesKey(apps.ByName("bfs"), gpu.KeplerK40c(), 0, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Cycles(context.Background(), key, func(context.Context) (profcache.CycleStats, error) {
+			close(started)
+			<-block
+			return profcache.CycleStats{}, nil
+		})
+		done <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Cycles(ctx, key, nil); err != context.Canceled {
+		t.Errorf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskRoundTrip: a warm load reproduces every analysis of the cold
+// fill byte-for-byte, without invoking the fill.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := profileBFS(t)
+	key := profcache.ProfileKey(apps.ByName("bfs"), gpu.KeplerK40c(), bothOpts, 1, 0)
+
+	cold := profcache.New(dir)
+	res, err := cold.Profile(context.Background(), key, 128, func(context.Context) (*profiler.Profiler, error) {
+		return p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(res)
+	if s := cold.Stats(); s.Misses != 1 || s.Stores != 1 || s.StoreErrors != 0 {
+		t.Fatalf("cold stats = %+v, want 1 miss and 1 store", s)
+	}
+
+	warm := profcache.New(dir)
+	res2, err := warm.Profile(context.Background(), key, 128, func(context.Context) (*profiler.Profiler, error) {
+		t.Error("warm load must not re-profile")
+		return nil, fmt.Errorf("unexpected fill")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res2); got != want {
+		t.Errorf("disk round trip changed the analyses\n--- warm\n%s--- cold\n%s", got, want)
+	}
+	if s := warm.Stats(); s.DiskHits != 1 || s.Misses != 0 || s.BadEntries != 0 {
+		t.Errorf("warm stats = %+v, want exactly 1 disk hit", s)
+	}
+}
+
+// TestCyclesDiskRoundTrip is the cycles-entry analogue.
+func TestCyclesDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := profcache.CyclesKey(apps.ByName("bfs"), gpu.KeplerK40c(), 2, 1)
+	want := profcache.CycleStats{Cycles: 123456, MaxCTAs: 42}
+	cold := profcache.New(dir)
+	if _, err := cold.Cycles(context.Background(), key, func(context.Context) (profcache.CycleStats, error) {
+		return want, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	warm := profcache.New(dir)
+	got, err := warm.Cycles(context.Background(), key, func(context.Context) (profcache.CycleStats, error) {
+		t.Error("warm load must not re-run")
+		return profcache.CycleStats{}, fmt.Errorf("unexpected fill")
+	})
+	if err != nil || got != want {
+		t.Fatalf("warm cycles = %+v, %v; want %+v from disk", got, err, want)
+	}
+}
+
+// TestCorruptEntriesAreMisses: every way an on-disk entry can be damaged
+// — truncation, garbage, a version bump, a checksum mismatch, emptiness,
+// or an entry filed under the wrong key — degrades to a counted miss:
+// the run completes with identical output, the bad entry is reported in
+// the stats, and the refill repairs the store.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	p := profileBFS(t)
+	key := profcache.ProfileKey(apps.ByName("bfs"), gpu.KeplerK40c(), bothOpts, 1, 0)
+	fill := func(context.Context) (*profiler.Profiler, error) { return p, nil }
+
+	seed := profcache.New(dir)
+	res, err := seed.Profile(context.Background(), key, 128, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(res)
+	files, err := filepath.Glob(filepath.Join(dir, "*.cell"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one entry file, got %v (%v)", files, err)
+	}
+	path := files[0]
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantBad int64 // bad-entry count the stats must report
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, 1},
+		{"empty", func([]byte) []byte { return nil }, 1},
+		{"garbage", func([]byte) []byte { return []byte("not a cache entry at all\n") }, 1},
+		{"version mismatch", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(" v1 "), []byte(" v999 "), 1)
+		}, 1},
+		{"checksum mismatch", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xff
+			return c
+		}, 1},
+		{"header json mismatch", func(b []byte) []byte {
+			// Valid header and checksum over a payload for a different key:
+			// the embedded canonical key must reject it.
+			other := profcache.New(t.TempDir())
+			if _, err := other.Cycles(context.Background(),
+				profcache.CyclesKey(apps.ByName("bfs"), gpu.KeplerK40c(), 0, 1),
+				func(context.Context) (profcache.CycleStats, error) {
+					return profcache.CycleStats{Cycles: 1}, nil
+				}); err != nil {
+				t.Fatal(err)
+			}
+			alien, _ := filepath.Glob(filepath.Join(other.Dir(), "*.cell"))
+			raw, err := os.ReadFile(alien[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return raw
+		}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := profcache.New(dir)
+			filled := false
+			res, err := c.Profile(context.Background(), key, 128, func(ctx context.Context) (*profiler.Profiler, error) {
+				filled = true
+				return fill(ctx)
+			})
+			if err != nil {
+				t.Fatalf("a damaged entry must be a miss, never an error; got %v", err)
+			}
+			if !filled {
+				t.Fatal("damaged entry was served instead of refilled")
+			}
+			if got := render(res); got != want {
+				t.Errorf("refill after %s produced different output", tc.name)
+			}
+			s := c.Stats()
+			if s.BadEntries != tc.wantBad || s.Misses != 1 || s.DiskHits != 0 {
+				t.Errorf("stats = %+v, want %d bad entries and 1 miss", s, tc.wantBad)
+			}
+			// The refill must have repaired the store in place.
+			repaired := profcache.New(dir)
+			if _, err := repaired.Profile(context.Background(), key, 128, func(context.Context) (*profiler.Profiler, error) {
+				t.Error("store was not repaired by the refill")
+				return nil, fmt.Errorf("unexpected fill")
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if s := repaired.Stats(); s.DiskHits != 1 {
+				t.Errorf("post-repair stats = %+v, want a clean disk hit", s)
+			}
+		})
+	}
+
+	if !strings.Contains(string(pristine), "cudaadvisor-profcache v1 ") {
+		t.Errorf("entry header missing the versioned magic:\n%.80s", pristine)
+	}
+}

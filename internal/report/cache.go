@@ -1,0 +1,24 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/profcache"
+)
+
+// CacheStats renders the opt-in (-cache-stats) one-line summary of the
+// profile cache's effectiveness. It is written to stderr by the CLI so
+// that stdout stays byte-identical to an uncached run. The counts are
+// deterministic for a fixed command and cache state at every worker
+// count: single-flight makes the number of fills equal the number of
+// unique keys not already on disk. A nil cache reports "off".
+func CacheStats(w io.Writer, c *profcache.Cache) {
+	if c == nil {
+		fmt.Fprintln(w, "cache: off")
+		return
+	}
+	s := c.Stats()
+	fmt.Fprintf(w, "cache: %d requests, %d memo hits, %d disk hits, %d misses, %d bad entries, %d stores, %d store errors\n",
+		s.Requests(), s.MemoHits, s.DiskHits, s.Misses, s.BadEntries, s.Stores, s.StoreErrors)
+}

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// Ordered serializes n concurrent producers into slot order on one
+// underlying writer, streaming instead of buffering everything: slot i's
+// writes pass straight through once every slot < i has finished, and are
+// buffered until then. The practical effect for `cudaadvisor all` is
+// that figure i appears as soon as figures < i are done, rather than
+// after the whole run — with bytes identical to the buffer-everything
+// path, because flushing happens in slot order by construction.
+//
+// Contract: each slot has one producer, which must not write after its
+// Finish call; slots may finish in any order. Write errors on the
+// underlying writer are recorded (first one wins) and reported by Err
+// after the producers join; subsequent output is discarded, matching the
+// stop-at-first-write-error behavior of the buffered path.
+type Ordered struct {
+	mu   sync.Mutex
+	w    io.Writer
+	bufs []bytes.Buffer
+	done []bool
+	next int // the live slot: all slots < next are finished and flushed
+	err  error
+}
+
+// NewOrdered returns an Ordered over w with n slots.
+func NewOrdered(w io.Writer, n int) *Ordered {
+	return &Ordered{w: w, bufs: make([]bytes.Buffer, n), done: make([]bool, n)}
+}
+
+// Slot returns the writer for slot i.
+func (o *Ordered) Slot(i int) io.Writer { return slotWriter{o: o, i: i} }
+
+// Finish marks slot i complete, flushing any now-unblocked buffered
+// slots in order.
+func (o *Ordered) Finish(i int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.done[i] = true
+	o.advance()
+}
+
+// Err returns the first error from the underlying writer, if any. Call
+// it after every producer has finished.
+func (o *Ordered) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+type slotWriter struct {
+	o *Ordered
+	i int
+}
+
+// Write streams to the underlying writer when the slot is live, and
+// buffers otherwise. It never reports an error to the producer — figure
+// renderers treat a write error as fatal for the whole run, which is
+// Err's job to surface once, deterministically, after the join.
+func (s slotWriter) Write(p []byte) (int, error) {
+	o := s.o
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s.i == o.next {
+		o.writeLocked(p)
+	} else {
+		o.bufs[s.i].Write(p)
+	}
+	return len(p), nil
+}
+
+// advance moves next past finished slots, flushing each newly live
+// slot's buffer (writes land there only while the slot is blocked).
+func (o *Ordered) advance() {
+	for o.next < len(o.done) {
+		if b := &o.bufs[o.next]; b.Len() > 0 {
+			o.writeLocked(b.Bytes())
+			b.Reset()
+		}
+		if !o.done[o.next] {
+			return
+		}
+		o.next++
+	}
+}
+
+// writeLocked writes through, recording the first underlying error and
+// dropping output after it.
+func (o *Ordered) writeLocked(p []byte) {
+	if o.err != nil {
+		return
+	}
+	if _, err := o.w.Write(p); err != nil {
+		o.err = err
+	}
+}

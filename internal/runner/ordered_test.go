@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOrderedBytesMatchReference: whatever order the slots finish in, the
+// assembled output is the slot-order concatenation — the same bytes the
+// old buffer-everything path produced.
+func TestOrderedBytesMatchReference(t *testing.T) {
+	const n = 6
+	var want bytes.Buffer
+	chunks := make([][]string, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			s := fmt.Sprintf("slot %d chunk %d\n", i, j)
+			chunks[i] = append(chunks[i], s)
+			want.WriteString(s)
+		}
+	}
+	for _, order := range [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{3, 0, 5, 1, 4, 2},
+	} {
+		var got bytes.Buffer
+		ord := NewOrdered(&got, n)
+		// Write everything first, then finish in the given order, so the
+		// flush path (not just pass-through) is exercised.
+		for i := 0; i < n; i++ {
+			for _, s := range chunks[i] {
+				ord.Slot(i).Write([]byte(s))
+			}
+		}
+		for _, i := range order {
+			ord.Finish(i)
+		}
+		if err := ord.Err(); err != nil {
+			t.Fatalf("finish order %v: Err() = %v", order, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("finish order %v: bytes differ\n--- got\n%s--- want\n%s", order, got.String(), want.String())
+		}
+	}
+}
+
+// TestOrderedStreams pins the streaming property: slot i's output is on
+// the underlying writer as soon as slots <= i have finished, without
+// waiting for later slots.
+func TestOrderedStreams(t *testing.T) {
+	var out bytes.Buffer
+	ord := NewOrdered(&out, 3)
+
+	ord.Slot(0).Write([]byte("zero\n"))
+	if out.String() != "zero\n" {
+		t.Fatalf("live slot 0 must pass through immediately, got %q", out.String())
+	}
+	ord.Slot(2).Write([]byte("two\n")) // blocked: buffered
+	ord.Finish(2)
+	if out.String() != "zero\n" {
+		t.Fatalf("slot 2 must stay buffered while 0 and 1 are unfinished, got %q", out.String())
+	}
+	ord.Finish(0)
+	ord.Slot(1).Write([]byte("one\n")) // now the live slot
+	if out.String() != "zero\none\n" {
+		t.Fatalf("slot 1 should stream once slot 0 finished, got %q", out.String())
+	}
+	ord.Finish(1)
+	if out.String() != "zero\none\ntwo\n" {
+		t.Fatalf("finishing slot 1 must flush the already-finished slot 2, got %q", out.String())
+	}
+}
+
+// errAfterWriter fails every write after the first n bytes.
+type errAfterWriter struct {
+	n   int
+	buf bytes.Buffer
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.buf.Len()+len(p) > w.n {
+		return 0, errSink
+	}
+	return w.buf.Write(p)
+}
+
+// TestOrderedWriteError: the first underlying write error is recorded and
+// surfaced by Err; producers are not disturbed mid-figure.
+func TestOrderedWriteError(t *testing.T) {
+	w := &errAfterWriter{n: 4}
+	ord := NewOrdered(w, 2)
+	if _, err := ord.Slot(0).Write([]byte("1234")); err != nil {
+		t.Fatalf("producer-facing write returned %v, want nil", err)
+	}
+	ord.Slot(0).Write([]byte("overflow"))
+	ord.Finish(0)
+	ord.Slot(1).Write([]byte("after"))
+	ord.Finish(1)
+	if !errors.Is(ord.Err(), errSink) {
+		t.Fatalf("Err() = %v, want %v", ord.Err(), errSink)
+	}
+	if w.buf.String() != "1234" {
+		t.Errorf("underlying writer got %q, want only the pre-error bytes", w.buf.String())
+	}
+}
+
+// TestOrderedConcurrent drives every slot from its own goroutine (the
+// -race configuration of the `all` streaming path).
+func TestOrderedConcurrent(t *testing.T) {
+	const n = 8
+	var want, got bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&want, "figure %d line a\nfigure %d line b\n", i, i)
+	}
+	ord := NewOrdered(&got, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer ord.Finish(i)
+			fmt.Fprintf(ord.Slot(i), "figure %d line a\n", i)
+			fmt.Fprintf(ord.Slot(i), "figure %d line b\n", i)
+		}(i)
+	}
+	wg.Wait()
+	if err := ord.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("concurrent ordered output differs\n--- got\n%s--- want\n%s", got.String(), want.String())
+	}
+}
