@@ -23,6 +23,7 @@ import (
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/irtext"
 	"cudaadvisor/internal/profcache"
 	"cudaadvisor/internal/rt"
 	"cudaadvisor/internal/runner"
@@ -321,6 +322,77 @@ func BenchmarkAblationVerticalVsHorizontalBicg(b *testing.B) {
 			vertical := run(0, true)
 			b.ReportMetric(float64(horizontal)/float64(base), "horizontal-norm")
 			b.ReportMetric(float64(vertical)/float64(base), "vertical-norm")
+		}
+	}
+}
+
+// perSMKernelSrc is a compute-heavy multi-CTA kernel for the per-SM
+// sharding benchmark: each thread runs a long arithmetic loop plus
+// strided global traffic, so the per-SM shards carry real simulation work.
+const perSMKernelSrc = `
+module persm
+kernel @spin(%in: ptr, %out: ptr, %iters: i32) {
+entry:
+  %tx   = sreg tid.x
+  %bx   = sreg ctaid.x
+  %bd   = sreg ntid.x
+  %base = mul i32 %bx, %bd
+  %i    = add i32 %base, %tx
+  %a    = gep %in, %i, 4
+  %v    = ld f32 global [%a]
+  %k    = mov i32 0
+  br loop
+loop:
+  %v = fmul f32 %v, 1.0001
+  %v = fadd f32 %v, 0.5
+  %k = add i32 %k, 1
+  %c = icmp lt i32 %k, %iters
+  cbr %c, loop, done
+done:
+  %o = gep %out, %i, 4
+  st f32 global [%o], %v
+  ret
+}
+`
+
+// BenchmarkLaunchPerSM measures the intra-launch SM sharding: one large
+// multi-CTA launch executed serially and again with the SM shards spread
+// over a worker pool, reporting the wall-clock speedup (expected >= 2x on
+// a machine with 8 cores; the outputs are byte-identical either way, which
+// TestParallelLaunchByteIdentical in internal/gpu asserts).
+func BenchmarkLaunchPerSM(b *testing.B) {
+	m, err := irtext.Parse("persm.mir", perSMKernelSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		b.Fatal(err)
+	}
+	cfg := gpu.KeplerK40c() // 15 SMs
+	const n = 60 * 256
+	launch := func(pool *runner.Pool) time.Duration {
+		d := gpu.NewDevice(cfg, 16<<20)
+		in, _ := d.Mem.Alloc(4 * n)
+		out, _ := d.Mem.Alloc(4 * n)
+		t0 := time.Now()
+		if _, err := d.Launch(m.Func("spin"), gpu.LaunchParams{
+			Grid: [3]int{60, 1, 1}, Block: [3]int{256, 1, 1},
+			Args:          []uint64{in, out, ir.I32Bits(2000)},
+			Pool:          pool,
+			L1WarpsPerCTA: -1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	pool := runner.New(speedupWorkers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial := launch(nil)
+		parallel := launch(pool)
+		if i == 0 {
+			b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+			b.ReportMetric(float64(pool.Workers()), "workers")
 		}
 	}
 }

@@ -18,7 +18,9 @@
 //
 //	-j N    parallel simulator runs (default 0 = GOMAXPROCS). Every
 //	        experiment fans its independent runs out on a bounded worker
-//	        pool; output is byte-identical for every N.
+//	        pool, and each kernel launch additionally splits its SM
+//	        shards across idle workers; output is byte-identical for
+//	        every N.
 //	-trace-cap N       bound each kernel trace's buffers to N records;
 //	                   overflowing traces fall back to deterministic
 //	                   sampling and analyses annotate their coverage
@@ -115,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %-9s warps/CTA=%-3d %s\n", a.Name, a.Suite, a.WarpsPerCTA, a.Description)
 		}
 	case "profile":
-		err = profileCmd(rest, stdout, stderr)
+		err = profileCmd(rest, env.Pool, stdout, stderr)
 	case "lint":
 		err = lintCmd(rest, stdout)
 	case "figure4":
@@ -154,8 +156,9 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: cudaadvisor [-j N] <command>
 
 global flags:
-  -j N         parallel simulator runs (default 0 = GOMAXPROCS); every
-               experiment fans out on a worker pool with byte-identical output
+  -j N         parallel simulator runs (default 0 = GOMAXPROCS); experiments
+               fan out on a worker pool and each launch splits its SM shards
+               across idle workers, with byte-identical output for every N
   -trace-cap N       bound kernel trace buffers to N records; overflow falls
                      back to deterministic sampling, annotated in the output
   -cell-timeout D    per-cell deadline (e.g. 30s)
@@ -219,7 +222,7 @@ func lintCmd(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func profileCmd(args []string, stdout, stderr io.Writer) error {
+func profileCmd(args []string, pool *runner.Pool, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	arch := fs.String("arch", "kepler", "architecture: kepler or pascal")
@@ -246,6 +249,9 @@ func profileCmd(args []string, stdout, stderr io.Writer) error {
 	}
 
 	adv := core.New(cfg, instrument.MemoryAndBlocks())
+	// A single profiling run has no cell-level fan-out, so the -j budget
+	// goes to intra-launch SM sharding instead (same output either way).
+	adv.Context().Options.Pool = pool
 	prog, err := app.Instrumented(adv.Opts)
 	if err != nil {
 		return err

@@ -98,6 +98,11 @@ func (e Env) profileCell(ctx context.Context, cell string, app *apps.App, cfg gp
 	p.TraceCap = inj.TraceCap(e.TraceCap)
 	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), inj.Listener(p))
 	c.Options.Ctx = ctx
+	// Hand the cell the run's pool too: launches split their SM shards
+	// across whatever workers the experiment fan-out leaves idle (the
+	// shard fan-out is non-blocking, so cell- and launch-level
+	// parallelism share one -j bound without deadlock).
+	c.Options.Pool = e.Pool
 	if err := app.Run(c, prog, e.Scale); err != nil {
 		return nil, fmt.Errorf("%s: run: %w", app.Name, err)
 	}
@@ -142,11 +147,11 @@ func (e Env) resultsCell(ctx context.Context, cell string, app *apps.App, cfg gp
 // single entry.
 func (e Env) nativeStats(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (profcache.CycleStats, error) {
 	if !e.cacheActive() {
-		return measureNative(ctx, app, cfg, l1Warps, scale)
+		return measureNative(ctx, e.Pool, app, cfg, l1Warps, scale)
 	}
 	key := profcache.CyclesKey(app, cfg, l1Warps, scale)
 	return e.Cache.Cycles(ctx, key, func(ctx context.Context) (profcache.CycleStats, error) {
-		return measureNative(ctx, app, cfg, l1Warps, scale)
+		return measureNative(ctx, e.Pool, app, cfg, l1Warps, scale)
 	})
 }
 

@@ -269,9 +269,11 @@ func WriteTable3Env(w io.Writer, env Env) error {
 // setting and returns the cycle-model measurements: the summed modeled
 // kernel cycles and the largest launched grid in CTAs. The result is a
 // pure function of (app, cfg, l1Warps, scale) — the modeled cycle count
-// involves no wall clock — which is what makes it cacheable. ctx (which
-// may be nil) bounds the kernels via the executor's step-guard poll.
-func measureNative(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (profcache.CycleStats, error) {
+// involves no wall clock — which is what makes it cacheable, and handing
+// the launches a pool cannot change it (the SM fan-out is byte-identical
+// at every worker count). ctx (which may be nil) bounds the kernels via
+// the executor's step-guard poll.
+func measureNative(ctx context.Context, pool *runner.Pool, app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) (profcache.CycleStats, error) {
 	prog, err := app.Native()
 	if err != nil {
 		return profcache.CycleStats{}, err
@@ -280,6 +282,7 @@ func measureNative(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, l1War
 	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), counter)
 	c.Options.L1Warps = l1Warps
 	c.Options.Ctx = ctx
+	c.Options.Pool = pool
 	if err := app.Run(c, prog, scale); err != nil {
 		return profcache.CycleStats{}, err
 	}
@@ -299,7 +302,7 @@ const BypassRunScale = 2
 // every grid scales quadratically with the input scale and so fed the
 // model a 2× inflated CTA count for 1D-grid applications (bfs).
 func timingCTAs(ctx context.Context, app *apps.App, cfg gpu.ArchConfig, scale int) (int, error) {
-	st, err := measureNative(ctx, app, cfg, 0, scale)
+	st, err := measureNative(ctx, nil, app, cfg, 0, scale)
 	return st.MaxCTAs, err
 }
 

@@ -59,6 +59,12 @@ type ArchConfig struct {
 	L1FillOcc int
 
 	SharedMemPerBlock int64 // shared memory available to one CTA
+
+	// SharedMemPerSM is the SM's total shared-memory capacity: CTAs
+	// using large shared arrays limit residency the same way the CTA and
+	// warp limits do (occupancy = min of all three). 0 disables the
+	// shared-memory occupancy limit (pre-existing configs).
+	SharedMemPerSM int64
 }
 
 // L1Sets returns the number of cache sets.
@@ -89,6 +95,9 @@ func KeplerK40c() ArchConfig {
 		L1PortOcc:         0,
 		L1FillOcc:         6,
 		SharedMemPerBlock: 48 * 1024,
+		// Table 1: K40c pairs a 16 KB L1 with a 48 KB shared-memory
+		// share of the 64 KB on-chip split.
+		SharedMemPerSM: 48 * 1024,
 	}
 }
 
@@ -118,6 +127,9 @@ func PascalP100() ArchConfig {
 		L1PortOcc:         0,
 		L1FillOcc:         6,
 		SharedMemPerBlock: 64 * 1024,
+		// Table 1: P100 has a dedicated 64 KB shared memory per SM,
+		// separate from the unified L1/texture cache.
+		SharedMemPerSM: 64 * 1024,
 	}
 }
 

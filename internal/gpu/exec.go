@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/runner"
 )
 
 // LaneValues carries one value per warp lane, the shape in which hook
@@ -30,6 +31,12 @@ type WarpView struct {
 // Hooks receives instrumentation callbacks during kernel execution: one
 // call per executed hook instruction (call to an ir.HookPrefix function),
 // with per-lane argument values. Implemented by the profiler.
+//
+// OnHook is always invoked from a single goroutine in a deterministic
+// global order (SM-major: every event of SM 0, then SM 1, …), regardless
+// of how many workers execute the launch: a parallel launch buffers each
+// SM's events and replays them in SM order after the SMs join. Hook
+// implementations therefore need no locking.
 type Hooks interface {
 	OnHook(w *WarpView, call *ir.Instr, args []LaneValues) error
 }
@@ -46,11 +53,21 @@ type LaunchParams struct {
 	// code (hook calls, if present, are skipped at zero model cost).
 	Hooks Hooks
 
+	// Pool, when non-nil with more than one worker, fans the launch's
+	// independent SM shards out across idle pool workers (see
+	// runner.Shards). The result — cycles, stats, traces, hook order,
+	// fault identity — is byte-identical to the serial path at every
+	// worker count; a nil Pool (or one worker) runs the SMs serially in
+	// SM order, the reference path. Kernels containing global atomics
+	// fall back to the serial path: atomics are real cross-SM
+	// communication and their interleaving must stay the serial one.
+	Pool *runner.Pool
+
 	// Ctx, when non-nil, lets the host cancel a running kernel: the
 	// executor polls it at the warp-step guard (every ctxCheckInterval
-	// warp instructions) and aborts with an error wrapping ctx.Err().
-	// Cancellation is a host-side deadline, not a simulated event, so an
-	// aborted launch makes no determinism claims.
+	// warp instructions per SM) and aborts with an error wrapping
+	// ctx.Err(). Cancellation is a host-side deadline, not a simulated
+	// event, so an aborted launch makes no determinism claims.
 	Ctx context.Context
 
 	// L1WarpsPerCTA enables horizontal cache bypassing (Section 4.2(D)):
@@ -59,6 +76,9 @@ type LaunchParams struct {
 	L1WarpsPerCTA int
 
 	// MaxWarpInstrs aborts runaway kernels; 0 means the default guard.
+	// The budget is per SM, so the guard's verdict on any one SM cannot
+	// depend on how much work other SMs did (the property that keeps
+	// runaway faults identical at every worker count).
 	MaxWarpInstrs int64
 }
 
@@ -164,31 +184,31 @@ type ctaState struct {
 	liveWarps int
 }
 
-// launchState carries per-launch machinery.
+// launchState carries the launch-wide machinery shared by every SM
+// shard: the immutable inputs (device, config, kernel, params, ipdom
+// tables) and the merged result. Per-SM execution state lives on
+// smShard; during a parallel launch this struct is read-only.
 type launchState struct {
 	dev    *Device
 	cfg    ArchConfig
 	kernel *ir.Function
 	p      LaunchParams
 	ipdoms map[*ir.Function][]int
-	res    LaunchResult
+	guard  int64 // per-SM warp-instruction budget
 
-	// per-SM, reset between SMs
-	l1       *l1cache
-	memQ     *mshr
-	mshrs    *mshr
-	portFree int64 // next cycle the L1 port is available
-	sm       int
+	// buffer, when true, makes shards record hook events for ordered
+	// replay instead of dispatching them inline (the parallel path).
+	buffer bool
 
-	lineBuf []uint64
-	instrs  int64
-	guard   int64
+	res LaunchResult
 }
 
 // Launch executes the kernel on the device. The kernel's module must be
 // finalized and verified. Execution is deterministic: warps are scheduled
-// minimum-ready-time first with stable tie-breaking, SMs are simulated in
-// order.
+// minimum-ready-time first with stable tie-breaking, and SM shards —
+// whether simulated serially or fanned out across a worker pool — merge
+// in SM order, so every observable output (results, stats, hook order,
+// fault identity) is byte-identical at every worker count.
 func (d *Device) Launch(kernel *ir.Function, p LaunchParams) (*LaunchResult, error) {
 	if kernel == nil || !kernel.IsKernel {
 		return nil, fmt.Errorf("gpu: Launch requires a kernel")
@@ -248,7 +268,7 @@ func (d *Device) Launch(kernel *ir.Function, p LaunchParams) (*LaunchResult, err
 	if nSMs < 1 {
 		nSMs = 1
 	}
-	maxCycles := int64(0)
+	var shards []*smShard
 	for sm := 0; sm < nSMs; sm++ {
 		var ctaIDs []int
 		for c := sm; c < nCTAs; c += nSMs {
@@ -257,175 +277,58 @@ func (d *Device) Launch(kernel *ir.Function, p LaunchParams) (*LaunchResult, err
 		if len(ctaIDs) == 0 {
 			continue
 		}
-		cycles, err := ls.runSM(sm, ctaIDs, threadsPerCTA, warpsPerCTA)
-		if err != nil {
+		shards = append(shards, &smShard{ls: ls, sm: sm, ctaIDs: ctaIDs})
+	}
+
+	if p.Pool.Workers() > 1 && len(shards) > 1 && !hasGlobalAtomics(kernel.Module()) {
+		if err := ls.runParallel(shards, threadsPerCTA, warpsPerCTA); err != nil {
 			return nil, err
 		}
-		if cycles > maxCycles {
-			maxCycles = cycles
+	} else {
+		if err := ls.runSerial(shards, threadsPerCTA, warpsPerCTA); err != nil {
+			return nil, err
 		}
 	}
-	ls.res.Cycles = maxCycles
-	ls.res.WarpInstrs = ls.instrs
 	return &ls.res, nil
 }
 
-// runSM simulates one SM over its CTA queue and returns its busy cycles.
-func (ls *launchState) runSM(sm int, ctaIDs []int, threadsPerCTA, warpsPerCTA int) (int64, error) {
-	ls.sm = sm
-	ls.l1 = newL1(ls.cfg)
-	ls.mshrs = newMSHR(ls.cfg.MSHRs)
-	ls.memQ = newMSHR(ls.cfg.MemQueue)
-	ls.portFree = 0
-	defer func() {
-		ls.res.Cache.Accesses += ls.l1.stats.Accesses
-		ls.res.Cache.Hits += ls.l1.stats.Hits
-		ls.res.Cache.Misses += ls.l1.stats.Misses
-		ls.res.Cache.Bypassed += ls.l1.stats.Bypassed
-		ls.res.Cache.Writes += ls.l1.stats.Writes
-		ls.res.MSHRStalls += ls.mshrs.stallCycles
-	}()
-
-	occupancy := ls.cfg.MaxCTAsPerSM
-	if byWarps := ls.cfg.MaxWarpsPerSM / warpsPerCTA; byWarps < occupancy {
-		occupancy = byWarps
+// runSerial simulates the SM shards one after another in SM order: the
+// reference path the parallel fan-out is byte-identical to. Hooks
+// dispatch inline and global memory is written directly.
+func (ls *launchState) runSerial(shards []*smShard, threadsPerCTA, warpsPerCTA int) error {
+	for _, s := range shards {
+		cycles, err := s.run(threadsPerCTA, warpsPerCTA)
+		if err != nil {
+			return err
+		}
+		ls.merge(s, cycles)
 	}
-	if occupancy < 1 {
-		occupancy = 1
-	}
-
-	var resident []*ctaState
-	next := 0
-	issueAt := int64(0) // next free issue slot (1 instruction per cycle)
-	finish := int64(0)
-	var lastRun *warpState
-
-	admit := func(at int64) {
-		for len(resident) < occupancy && next < len(ctaIDs) {
-			cta := ls.newCTA(ctaIDs[next], threadsPerCTA, warpsPerCTA, at)
-			resident = append(resident, cta)
-			next++
-		}
-	}
-	admit(0)
-
-	for len(resident) > 0 {
-		// Greedy-then-oldest issue through a single-issue port: the last
-		// warp keeps the slot while it is ready; otherwise the oldest
-		// ready warp (admission order) gets it; if nobody is ready the
-		// port idles until the earliest wakeup. GTO lets warps drift
-		// apart as on hardware, which is what exposes inter-warp reuse
-		// to capacity pressure.
-		var w *warpState
-		if lastRun != nil && !lastRun.done && !lastRun.atBarrier && lastRun.readyAt <= issueAt {
-			w = lastRun
-		} else {
-			minReady := int64(-1)
-			for _, cta := range resident {
-				for _, cand := range cta.warps {
-					if cand.done || cand.atBarrier {
-						continue
-					}
-					if minReady < 0 || cand.readyAt < minReady {
-						minReady = cand.readyAt
-					}
-					if w == nil && cand.readyAt <= issueAt {
-						w = cand
-					}
-				}
-			}
-			if w == nil {
-				if minReady < 0 {
-					// Everything is blocked on barriers: a lost-warp deadlock.
-					return 0, &Fault{Kernel: ls.kernel.Name, CTA: resident[0].id,
-						Msg: "barrier deadlock: all warps waiting"}
-				}
-				issueAt = minReady
-				continue
-			}
-		}
-		if err := ls.step(w, issueAt); err != nil {
-			return 0, err
-		}
-		lastRun = w
-		issueAt++
-		if w.readyAt > finish {
-			finish = w.readyAt
-		}
-
-		// Retire finished CTAs, admit pending ones.
-		liveResident := resident[:0]
-		retired := false
-		for _, cta := range resident {
-			if cta.liveWarps == 0 {
-				retired = true
-				continue
-			}
-			liveResident = append(liveResident, cta)
-		}
-		resident = liveResident
-		if retired {
-			admit(issueAt)
-		}
-	}
-	return finish, nil
+	return nil
 }
 
-// newCTA builds the warp states for one CTA.
-func (ls *launchState) newCTA(id, threadsPerCTA, warpsPerCTA int, at int64) *ctaState {
-	g := ls.p.Grid
-	coord := [3]int{id % g[0], (id / g[0]) % g[1], id / (g[0] * g[1])}
-	cta := &ctaState{
-		id:     id,
-		coord:  coord,
-		shared: newSharedMem(ls.kernel.SharedBytes),
-	}
-	for wi := 0; wi < warpsPerCTA; wi++ {
-		mask := uint32(0)
-		for lane := 0; lane < WarpSize; lane++ {
-			if wi*WarpSize+lane < threadsPerCTA {
-				mask |= 1 << uint(lane)
-			}
-		}
-		fr := ls.newFrame(ls.kernel, mask, -1, 0)
-		// Bind parameters (uniform across lanes).
-		for pi := range ls.kernel.Params {
-			for lane := 0; lane < WarpSize; lane++ {
-				fr.setReg(pi, lane, ls.p.Args[pi])
-			}
-		}
-		w := &warpState{
-			cta:      cta,
-			frames:   []*frame{fr},
-			readyAt:  at,
-			initMask: mask,
-			view: WarpView{
-				CTALinear: id,
-				CTACoord:  coord,
-				WarpInCTA: wi,
-				InitMask:  mask,
-				SM:        ls.sm,
-			},
-		}
-		cta.warps = append(cta.warps, w)
-	}
-	cta.liveWarps = len(cta.warps)
-	return cta
-}
-
-func (ls *launchState) newFrame(fn *ir.Function, mask uint32, retDst int, _ int64) *frame {
-	return &frame{
-		fn:       fn,
-		regs:     make([]uint64, fn.NumRegs*WarpSize),
-		stack:    []simtEntry{{block: 0, idx: 0, reconv: reconvNever, mask: mask}},
-		retDst:   retDst,
-		callMask: mask,
+// merge folds one completed shard into the launch result. Sums are
+// order-insensitive and Cycles is a max, but shards merge in SM order
+// anyway so the accumulation sequence matches the serial path exactly.
+func (ls *launchState) merge(s *smShard, cycles int64) {
+	r := &ls.res
+	r.Cache.Accesses += s.l1.stats.Accesses
+	r.Cache.Hits += s.l1.stats.Hits
+	r.Cache.Misses += s.l1.stats.Misses
+	r.Cache.Bypassed += s.l1.stats.Bypassed
+	r.Cache.Writes += s.l1.stats.Writes
+	r.MSHRStalls += s.mshrs.stallCycles
+	r.WarpInstrs += s.instrs
+	r.MemInstrs += s.memInstrs
+	r.HookCalls += s.hookCalls
+	if cycles > r.Cycles {
+		r.Cycles = cycles
 	}
 }
 
-func (ls *launchState) fault(w *warpState, loc ir.Loc, format string, args ...any) error {
+// fault builds the Fault for one warp at one location.
+func (s *smShard) fault(w *warpState, loc ir.Loc, format string, args ...any) error {
 	return &Fault{
-		Kernel: ls.kernel.Name,
+		Kernel: s.ls.kernel.Name,
 		Loc:    loc,
 		CTA:    w.cta.id,
 		Warp:   w.view.WarpInCTA,
@@ -433,20 +336,22 @@ func (ls *launchState) fault(w *warpState, loc ir.Loc, format string, args ...an
 	}
 }
 
-// ctxCheckInterval is how often (in warp instructions) the step guard
-// polls LaunchParams.Ctx; a power of two so the check is a mask test.
+// ctxCheckInterval is how often (in warp instructions per SM) the step
+// guard polls LaunchParams.Ctx; a power of two so the check is a mask
+// test.
 const ctxCheckInterval = 4096
 
 // step executes one warp instruction issued at scheduler time now.
-func (ls *launchState) step(w *warpState, now int64) error {
-	ls.instrs++
-	if ls.instrs > ls.guard {
-		return ls.fault(w, ir.Loc{}, "instruction budget exhausted (%d warp instructions): runaway kernel?", ls.guard)
+func (s *smShard) step(w *warpState, now int64) error {
+	ls := s.ls
+	s.instrs++
+	if s.instrs > ls.guard {
+		return s.fault(w, ir.Loc{}, "instruction budget exhausted (%d warp instructions): runaway kernel?", ls.guard)
 	}
-	if ls.p.Ctx != nil && ls.instrs&(ctxCheckInterval-1) == 0 {
+	if ls.p.Ctx != nil && s.instrs&(ctxCheckInterval-1) == 0 {
 		if err := ls.p.Ctx.Err(); err != nil {
 			return fmt.Errorf("gpu: kernel %s cancelled after %d warp instructions: %w",
-				ls.kernel.Name, ls.instrs, err)
+				ls.kernel.Name, s.instrs, err)
 		}
 	}
 	fr := w.frames[len(w.frames)-1]
@@ -463,7 +368,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			}
 			v, err := ir.EvalIntBin(in.Op, in.Type, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
 			if err != nil {
-				return ls.fault(w, in.Loc, "%v (lane %d)", err, lane)
+				return s.fault(w, in.Loc, "%v (lane %d)", err, lane)
 			}
 			fr.setReg(in.DstReg, lane, v)
 		}
@@ -475,7 +380,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			}
 			v, err := ir.EvalFloatBin(in.Op, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
 			if err != nil {
-				return ls.fault(w, in.Loc, "%v (lane %d)", err, lane)
+				return s.fault(w, in.Loc, "%v (lane %d)", err, lane)
 			}
 			fr.setReg(in.DstReg, lane, v)
 		}
@@ -488,7 +393,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			}
 			v, err := ir.EvalFloatUn(in.Op, fr.operand(&in.Args[0], lane))
 			if err != nil {
-				return ls.fault(w, in.Loc, "%v (lane %d)", err, lane)
+				return s.fault(w, in.Loc, "%v (lane %d)", err, lane)
 			}
 			fr.setReg(in.DstReg, lane, v)
 		}
@@ -500,7 +405,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			}
 			v, err := ir.EvalICmp(in.Pred, in.Type, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
 			if err != nil {
-				return ls.fault(w, in.Loc, "%v", err)
+				return s.fault(w, in.Loc, "%v", err)
 			}
 			fr.setReg(in.DstReg, lane, v)
 		}
@@ -512,7 +417,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			}
 			v, err := ir.EvalFCmp(in.Pred, fr.operand(&in.Args[0], lane), fr.operand(&in.Args[1], lane))
 			if err != nil {
-				return ls.fault(w, in.Loc, "%v", err)
+				return s.fault(w, in.Loc, "%v", err)
 			}
 			fr.setReg(in.DstReg, lane, v)
 		}
@@ -544,7 +449,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			}
 			v, err := ir.EvalCvt(in.Op, fr.operand(&in.Args[0], lane))
 			if err != nil {
-				return ls.fault(w, in.Loc, "%v", err)
+				return s.fault(w, in.Loc, "%v", err)
 			}
 			fr.setReg(in.DstReg, lane, v)
 		}
@@ -566,7 +471,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 		}
 		e.idx++
 	case in.Op == ir.OpSReg:
-		ls.evalSReg(w, fr, in, mask)
+		s.evalSReg(w, fr, in, mask)
 		e.idx++
 	case in.Op == ir.OpShPtr:
 		sd := fr.fn.SharedArray(in.Callee)
@@ -577,21 +482,21 @@ func (ls *launchState) step(w *warpState, now int64) error {
 		}
 		e.idx++
 	case in.Op == ir.OpLd:
-		c, err := ls.execLoad(w, fr, in, mask, now)
+		c, err := s.execLoad(w, fr, in, mask, now)
 		if err != nil {
 			return err
 		}
 		cost += c
 		e.idx++
 	case in.Op == ir.OpSt:
-		c, err := ls.execStore(w, fr, in, mask, now)
+		c, err := s.execStore(w, fr, in, mask, now)
 		if err != nil {
 			return err
 		}
 		cost += c
 		e.idx++
 	case in.Op == ir.OpAtom:
-		c, err := ls.execAtomic(w, fr, in, mask)
+		c, err := s.execAtomic(w, fr, in, mask)
 		if err != nil {
 			return err
 		}
@@ -600,7 +505,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 	case in.Op == ir.OpBar:
 		live := w.liveMask()
 		if mask != live {
-			return ls.fault(w, in.Loc, "divergent barrier: active %#x of live %#x", mask, live)
+			return s.fault(w, in.Loc, "divergent barrier: active %#x of live %#x", mask, live)
 		}
 		e.idx++
 		w.atBarrier = true
@@ -609,12 +514,12 @@ func (ls *launchState) step(w *warpState, now int64) error {
 		if now > cta.barrierAt {
 			cta.barrierAt = now
 		}
-		ls.releaseBarrierIfReady(cta)
+		s.releaseBarrierIfReady(cta)
 		w.readyAt = now + cost
 		return nil
 	case in.Op == ir.OpCall:
 		if in.IsHookCall() {
-			ls.res.HookCalls++
+			s.hookCalls++
 			if ls.p.Hooks != nil {
 				args := make([]LaneValues, len(in.Args))
 				for ai := range in.Args {
@@ -624,17 +529,25 @@ func (ls *launchState) step(w *warpState, now int64) error {
 						}
 					}
 				}
-				w.view.ActiveMask = mask
-				w.view.Cycle = now
-				if err := ls.p.Hooks.OnHook(&w.view, in, args); err != nil {
-					return ls.fault(w, in.Loc, "hook: %v", err)
+				if ls.buffer {
+					// Parallel shard: record for ordered replay after
+					// the SM barrier instead of dispatching inline.
+					s.events = append(s.events, hookEvent{
+						w: w, in: in, args: args, mask: mask, cycle: now,
+					})
+				} else {
+					w.view.ActiveMask = mask
+					w.view.Cycle = now
+					if err := ls.p.Hooks.OnHook(&w.view, in, args); err != nil {
+						return s.fault(w, in.Loc, "hook: %v", err)
+					}
 				}
 				cost += int64(ls.cfg.HookCost)
 			}
 			e.idx++
 		} else {
 			callee := in.CalleeFn
-			nf := ls.newFrame(callee, mask, in.DstReg, now)
+			nf := s.newFrame(callee, mask, in.DstReg, now)
 			for pi := range callee.Params {
 				for lane := 0; lane < WarpSize; lane++ {
 					if mask&(1<<uint(lane)) != 0 {
@@ -647,7 +560,7 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			cost += 4 // call overhead
 		}
 	case in.Op == ir.OpBr:
-		ls.transfer(w, fr, e, in.ThenIdx, mask)
+		s.transfer(w, fr, e, in.ThenIdx, mask)
 	case in.Op == ir.OpCBr:
 		var maskT, maskF uint32
 		for lane := 0; lane < WarpSize; lane++ {
@@ -663,9 +576,9 @@ func (ls *launchState) step(w *warpState, now int64) error {
 		}
 		switch {
 		case maskF == 0:
-			ls.transfer(w, fr, e, in.ThenIdx, mask)
+			s.transfer(w, fr, e, in.ThenIdx, mask)
 		case maskT == 0:
-			ls.transfer(w, fr, e, in.ElseIdx, mask)
+			s.transfer(w, fr, e, in.ElseIdx, mask)
 		default:
 			// Diverge: current entry becomes the reconvergence
 			// continuation; push else then taken.
@@ -685,20 +598,20 @@ func (ls *launchState) step(w *warpState, now int64) error {
 			)
 		}
 	case in.Op == ir.OpRet:
-		if err := ls.execRet(w, fr, in, mask); err != nil {
+		if err := s.execRet(w, fr, in, mask); err != nil {
 			return err
 		}
 	default:
-		return ls.fault(w, in.Loc, "unimplemented opcode %s", in.Op)
+		return s.fault(w, in.Loc, "unimplemented opcode %s", in.Op)
 	}
 
-	ls.settle(w)
+	s.settle(w)
 	w.readyAt = now + cost
 	return nil
 }
 
-func (ls *launchState) evalSReg(w *warpState, fr *frame, in *ir.Instr, mask uint32) {
-	b := ls.p.Block
+func (s *smShard) evalSReg(w *warpState, fr *frame, in *ir.Instr, mask uint32) {
+	b := s.ls.p.Block
 	for lane := 0; lane < WarpSize; lane++ {
 		if mask&(1<<uint(lane)) == 0 {
 			continue
@@ -725,11 +638,11 @@ func (ls *launchState) evalSReg(w *warpState, fr *frame, in *ir.Instr, mask uint
 		case ir.SRegNtidZ:
 			v = int32(b[2])
 		case ir.SRegNctaidX:
-			v = int32(ls.p.Grid[0])
+			v = int32(s.ls.p.Grid[0])
 		case ir.SRegNctaidY:
-			v = int32(ls.p.Grid[1])
+			v = int32(s.ls.p.Grid[1])
 		case ir.SRegNctaidZ:
-			v = int32(ls.p.Grid[2])
+			v = int32(s.ls.p.Grid[2])
 		}
 		fr.setReg(in.DstReg, lane, ir.I32Bits(v))
 	}
@@ -737,12 +650,12 @@ func (ls *launchState) evalSReg(w *warpState, fr *frame, in *ir.Instr, mask uint
 
 // usesL1 reports whether this warp's global reads go through L1 under the
 // launch's horizontal-bypassing policy.
-func (ls *launchState) usesL1(w *warpState) bool {
-	k := ls.p.L1WarpsPerCTA
+func (s *smShard) usesL1(w *warpState) bool {
+	k := s.ls.p.L1WarpsPerCTA
 	return k < 0 || w.view.WarpInCTA < k
 }
 
-func (ls *launchState) execLoad(w *warpState, fr *frame, in *ir.Instr, mask uint32, now int64) (int64, error) {
+func (s *smShard) execLoad(w *warpState, fr *frame, in *ir.Instr, mask uint32, now int64) (int64, error) {
 	var addrs [WarpSize]uint64
 	for lane := 0; lane < WarpSize; lane++ {
 		if mask&(1<<uint(lane)) != 0 {
@@ -759,39 +672,40 @@ func (ls *launchState) execLoad(w *warpState, fr *frame, in *ir.Instr, mask uint
 		if in.Space == ir.Shared {
 			v, err = w.cta.shared.load(in.Mem, addrs[lane])
 		} else {
-			v, err = ls.dev.Mem.load(in.Mem, addrs[lane])
+			v, err = s.loadGlobal(in.Mem, addrs[lane])
 		}
 		if err != nil {
-			return 0, ls.fault(w, in.Loc, "load lane %d: %v", lane, err)
+			return 0, s.fault(w, in.Loc, "load lane %d: %v", lane, err)
 		}
 		fr.setReg(in.DstReg, lane, v)
 	}
 	// Timing.
 	if in.Space == ir.Shared {
-		return int64(ls.cfg.SharedLat), nil
+		return int64(s.ls.cfg.SharedLat), nil
 	}
-	ls.res.MemInstrs++
-	ls.lineBuf = coalesceLines(ls.lineBuf, mask, &addrs, in.Mem.Size(), ls.cfg.L1LineSize)
-	useL1 := ls.usesL1(w) && !in.NonCached
+	s.memInstrs++
+	cfg := &s.ls.cfg
+	s.lineBuf = coalesceLines(s.lineBuf, mask, &addrs, in.Mem.Size(), cfg.L1LineSize)
+	useL1 := s.usesL1(w) && !in.NonCached
 	maxDone := now
-	for i, line := range ls.lineBuf {
+	for i, line := range s.lineBuf {
 		issue := now + int64(i) // LSU serializes transactions
 		var done int64
 		if useL1 {
 			start := issue
-			if ls.portFree > start {
-				start = ls.portFree
+			if s.portFree > start {
+				start = s.portFree
 			}
-			if ls.l1.read(line) {
-				ls.portFree = start + int64(ls.cfg.L1PortOcc)
-				done = start + int64(ls.cfg.L1HitLat)
+			if s.l1.read(line) {
+				s.portFree = start + int64(cfg.L1PortOcc)
+				done = start + int64(cfg.L1HitLat)
 			} else {
-				ls.portFree = start + int64(ls.cfg.L1PortOcc+ls.cfg.L1FillOcc)
-				done = ls.mshrs.alloc(start, int64(ls.cfg.MissLat))
+				s.portFree = start + int64(cfg.L1PortOcc+cfg.L1FillOcc)
+				done = s.mshrs.alloc(start, int64(cfg.MissLat))
 			}
 		} else {
-			ls.l1.bypass()
-			done = ls.mshrs.alloc(issue, int64(ls.cfg.BypassLat))
+			s.l1.bypass()
+			done = s.mshrs.alloc(issue, int64(cfg.BypassLat))
 		}
 		if done > maxDone {
 			maxDone = done
@@ -800,7 +714,7 @@ func (ls *launchState) execLoad(w *warpState, fr *frame, in *ir.Instr, mask uint
 	return maxDone - now, nil
 }
 
-func (ls *launchState) execStore(w *warpState, fr *frame, in *ir.Instr, mask uint32, now int64) (int64, error) {
+func (s *smShard) execStore(w *warpState, fr *frame, in *ir.Instr, mask uint32, now int64) (int64, error) {
 	var addrs [WarpSize]uint64
 	for lane := 0; lane < WarpSize; lane++ {
 		if mask&(1<<uint(lane)) != 0 {
@@ -816,25 +730,28 @@ func (ls *launchState) execStore(w *warpState, fr *frame, in *ir.Instr, mask uin
 		if in.Space == ir.Shared {
 			err = w.cta.shared.store(in.Mem, addrs[lane], v)
 		} else {
-			err = ls.dev.Mem.store(in.Mem, addrs[lane], v)
+			err = s.storeGlobal(in.Mem, addrs[lane], v)
 		}
 		if err != nil {
-			return 0, ls.fault(w, in.Loc, "store lane %d: %v", lane, err)
+			return 0, s.fault(w, in.Loc, "store lane %d: %v", lane, err)
 		}
 	}
 	if in.Space == ir.Shared {
-		return int64(ls.cfg.SharedLat) / 2, nil
+		return int64(s.ls.cfg.SharedLat) / 2, nil
 	}
-	ls.res.MemInstrs++
+	s.memInstrs++
 	// Write-through, write-evict; stores do not stall the warp.
-	ls.lineBuf = coalesceLines(ls.lineBuf, mask, &addrs, in.Mem.Size(), ls.cfg.L1LineSize)
-	for _, line := range ls.lineBuf {
-		ls.l1.write(line)
+	s.lineBuf = coalesceLines(s.lineBuf, mask, &addrs, in.Mem.Size(), s.ls.cfg.L1LineSize)
+	for _, line := range s.lineBuf {
+		s.l1.write(line)
 	}
-	return int64(len(ls.lineBuf)), nil
+	return int64(len(s.lineBuf)), nil
 }
 
-func (ls *launchState) execAtomic(w *warpState, fr *frame, in *ir.Instr, mask uint32) (int64, error) {
+func (s *smShard) execAtomic(w *warpState, fr *frame, in *ir.Instr, mask uint32) (int64, error) {
+	// Atomics always run on the serial path (Launch forces it for
+	// modules containing OpAtom), so direct device-memory access here is
+	// single-threaded by construction.
 	n := 0
 	for lane := 0; lane < WarpSize; lane++ {
 		if mask&(1<<uint(lane)) == 0 {
@@ -843,9 +760,9 @@ func (ls *launchState) execAtomic(w *warpState, fr *frame, in *ir.Instr, mask ui
 		n++
 		addr := fr.operand(&in.Args[0], lane)
 		val := fr.operand(&in.Args[1], lane)
-		old, err := ls.dev.Mem.load(in.Mem, addr)
+		old, err := s.ls.dev.Mem.load(in.Mem, addr)
 		if err != nil {
-			return 0, ls.fault(w, in.Loc, "atomic lane %d: %v", lane, err)
+			return 0, s.fault(w, in.Loc, "atomic lane %d: %v", lane, err)
 		}
 		var sum uint64
 		if in.Mem == ir.MemF32 {
@@ -853,20 +770,20 @@ func (ls *launchState) execAtomic(w *warpState, fr *frame, in *ir.Instr, mask ui
 		} else {
 			sum = ir.I32Bits(ir.I32FromBits(old) + ir.I32FromBits(val))
 		}
-		if err := ls.dev.Mem.store(in.Mem, addr, sum); err != nil {
-			return 0, ls.fault(w, in.Loc, "atomic lane %d: %v", lane, err)
+		if err := s.ls.dev.Mem.store(in.Mem, addr, sum); err != nil {
+			return 0, s.fault(w, in.Loc, "atomic lane %d: %v", lane, err)
 		}
 		if in.DstReg >= 0 {
 			fr.setReg(in.DstReg, lane, old)
 		}
-		ls.l1.write(ls.l1.lineOf(addr) << ls.l1.lineShift)
+		s.l1.write(s.l1.lineOf(addr) << s.l1.lineShift)
 	}
-	ls.res.MemInstrs++
-	return int64(n * ls.cfg.AtomLat), nil
+	s.memInstrs++
+	return int64(n * s.ls.cfg.AtomLat), nil
 }
 
 // transfer handles a uniform control transfer of the top entry to target.
-func (ls *launchState) transfer(_ *warpState, _ *frame, e *simtEntry, target int, _ uint32) {
+func (s *smShard) transfer(_ *warpState, _ *frame, e *simtEntry, target int, _ uint32) {
 	if target == e.reconv {
 		e.mask = 0 // drained; settle() pops it
 		return
@@ -875,7 +792,7 @@ func (ls *launchState) transfer(_ *warpState, _ *frame, e *simtEntry, target int
 }
 
 // execRet retires the active lanes from the current frame.
-func (ls *launchState) execRet(w *warpState, fr *frame, in *ir.Instr, mask uint32) error {
+func (s *smShard) execRet(w *warpState, fr *frame, in *ir.Instr, mask uint32) error {
 	if len(in.Args) > 0 {
 		for lane := 0; lane < WarpSize; lane++ {
 			if mask&(1<<uint(lane)) != 0 {
@@ -891,7 +808,7 @@ func (ls *launchState) execRet(w *warpState, fr *frame, in *ir.Instr, mask uint3
 
 // settle pops drained and reconverged SIMT entries, completes returned
 // frames, and retires finished warps.
-func (ls *launchState) settle(w *warpState) {
+func (s *smShard) settle(w *warpState) {
 	for len(w.frames) > 0 {
 		fr := w.frames[len(w.frames)-1]
 		for len(fr.stack) > 0 {
@@ -912,7 +829,7 @@ func (ls *launchState) settle(w *warpState) {
 			w.done = true
 			cta := w.cta
 			cta.liveWarps--
-			ls.releaseBarrierIfReady(cta)
+			s.releaseBarrierIfReady(cta)
 			return
 		}
 		caller := w.frames[len(w.frames)-2]
@@ -932,7 +849,7 @@ func (ls *launchState) settle(w *warpState) {
 
 // releaseBarrierIfReady releases a pending CTA barrier once every live
 // warp has arrived.
-func (ls *launchState) releaseBarrierIfReady(cta *ctaState) {
+func (s *smShard) releaseBarrierIfReady(cta *ctaState) {
 	if cta.arrived == 0 || cta.liveWarps == 0 {
 		if cta.liveWarps == 0 {
 			cta.arrived = 0

@@ -31,11 +31,18 @@ func (d *DeviceMemory) Alloc(n int64) (uint64, error) {
 		return 0, fmt.Errorf("gpu: negative allocation %d", n)
 	}
 	addr := (d.next + 255) &^ 255
-	if addr+uint64(n) > uint64(len(d.buf)) {
-		return 0, fmt.Errorf("gpu: out of device memory (%d requested, %d free)",
-			n, uint64(len(d.buf))-addr)
+	end := addr + uint64(n)
+	// end < addr catches addr+n wrapping uint64 for huge n; the free
+	// count saturates at 0 so an over-capacity aligned cursor reports
+	// "0 free" instead of an underflowed garbage number.
+	if end < addr || end > uint64(len(d.buf)) {
+		free := uint64(0)
+		if capacity := uint64(len(d.buf)); addr < capacity {
+			free = capacity - addr
+		}
+		return 0, fmt.Errorf("gpu: out of device memory (%d requested, %d free)", n, free)
 	}
-	d.next = addr + uint64(n)
+	d.next = end
 	return addr, nil
 }
 
@@ -46,8 +53,12 @@ func (d *DeviceMemory) Reset() {
 }
 
 func (d *DeviceMemory) check(addr uint64, n int) error {
-	if addr < 256 || addr+uint64(n) > uint64(len(d.buf)) {
-		return fmt.Errorf("gpu: global memory access [%#x, %#x) out of range", addr, addr+uint64(n))
+	// end < addr catches addr+n wrapping uint64 (a wild pointer near
+	// 2^64): without the guard the wrapped end passes the upper-bound
+	// test and the access panics on the slice instead of faulting.
+	end := addr + uint64(n)
+	if addr < 256 || end < addr || end > uint64(len(d.buf)) {
+		return fmt.Errorf("gpu: global memory access [%#x, %#x) out of range", addr, end)
 	}
 	return nil
 }
@@ -142,18 +153,27 @@ type sharedMem struct {
 
 func newSharedMem(n int64) *sharedMem { return &sharedMem{buf: make([]byte, n)} }
 
+// checkShared guards one shared-memory access; end < addr catches
+// addr+size wrapping uint64 (same wild-pointer hazard as DeviceMemory).
+func (s *sharedMem) check(mt ir.MemType, addr uint64) error {
+	end := addr + uint64(mt.Size())
+	if end < addr || end > uint64(len(s.buf)) {
+		return fmt.Errorf("gpu: shared memory access [%#x, %#x) out of range (size %d)",
+			addr, end, len(s.buf))
+	}
+	return nil
+}
+
 func (s *sharedMem) load(mt ir.MemType, addr uint64) (uint64, error) {
-	if addr+uint64(mt.Size()) > uint64(len(s.buf)) {
-		return 0, fmt.Errorf("gpu: shared memory access [%#x, %#x) out of range (size %d)",
-			addr, addr+uint64(mt.Size()), len(s.buf))
+	if err := s.check(mt, addr); err != nil {
+		return 0, err
 	}
 	return loadFrom(s.buf, mt, addr), nil
 }
 
 func (s *sharedMem) store(mt ir.MemType, addr uint64, bits uint64) error {
-	if addr+uint64(mt.Size()) > uint64(len(s.buf)) {
-		return fmt.Errorf("gpu: shared memory access [%#x, %#x) out of range (size %d)",
-			addr, addr+uint64(mt.Size()), len(s.buf))
+	if err := s.check(mt, addr); err != nil {
+		return err
 	}
 	storeTo(s.buf, mt, addr, bits)
 	return nil

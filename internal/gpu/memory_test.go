@@ -1,0 +1,124 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"cudaadvisor/internal/ir"
+)
+
+// A wild pointer within a few bytes of 2^64 makes addr+size wrap around
+// uint64: without the overflow guard the wrapped end passes the
+// upper-bound test and the access panics on the backing slice instead of
+// faulting. The guard must catch it on both load and store.
+func TestDeviceMemoryWraparoundChecked(t *testing.T) {
+	d := NewDeviceMemory(1 << 20)
+	wild := ^uint64(0) - 2 // wild+4 wraps to 1
+	if _, err := d.load(ir.MemI32, wild); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("load at %#x: err = %v, want out-of-range", wild, err)
+	}
+	if err := d.store(ir.MemI64, wild, 1); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("store at %#x: err = %v, want out-of-range", wild, err)
+	}
+	if err := d.check(^uint64(0), 1); err == nil {
+		t.Error("check(2^64-1, 1) passed")
+	}
+}
+
+func TestSharedMemoryWraparoundChecked(t *testing.T) {
+	s := newSharedMem(4096)
+	wild := ^uint64(0) - 1 // wild+4 wraps to 2
+	if _, err := s.load(ir.MemF32, wild); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("shared load at %#x: err = %v, want out-of-range", wild, err)
+	}
+	if err := s.store(ir.MemI32, wild, 7); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("shared store at %#x: err = %v, want out-of-range", wild, err)
+	}
+}
+
+// The same hazard end to end: a kernel dereferencing a wild pointer must
+// raise a gpu.Fault attributed to the faulting instruction, not panic the
+// host process.
+func TestLaunchWildGlobalPointerFaults(t *testing.T) {
+	src := `
+module wild
+kernel @wild(%p: ptr) {
+entry:
+  %v = ld i32 global [%p]
+  st i32 global [%p], %v
+  ret
+}
+`
+	d := newTestDevice()
+	m := parseKernel(t, src)
+	_, err := d.Launch(m.Func("wild"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{32, 1, 1},
+		Args: []uint64{^uint64(0) - 2}, L1WarpsPerCTA: -1,
+	})
+	var f *Fault
+	if !errors.As(err, &f) || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range gpu.Fault", err)
+	}
+}
+
+// A negative shared-memory index computes an address near 2^64 (shared
+// addresses are offsets); the wrapped end must fault, not panic.
+func TestLaunchWildSharedPointerFaults(t *testing.T) {
+	src := `
+module wildsh
+kernel @wildsh() {
+  shared @buf: f32[8]
+entry:
+  %p = shptr @buf
+  %i = mov i32 -1
+  %a = gep %p, %i, 4
+  st f32 shared [%a], 1.0
+  ret
+}
+`
+	d := newTestDevice()
+	m := parseKernel(t, src)
+	_, err := d.Launch(m.Func("wildsh"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{32, 1, 1}, L1WarpsPerCTA: -1,
+	})
+	var f *Fault
+	if !errors.As(err, &f) || !strings.Contains(err.Error(), "shared memory") {
+		t.Fatalf("err = %v, want shared-memory gpu.Fault", err)
+	}
+}
+
+func TestAllocOOMReportsSaturatedFree(t *testing.T) {
+	d := NewDeviceMemory(1024)
+	if _, err := d.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	// Request more than remains: the free count must be the real
+	// remainder, not an underflowed garbage number.
+	_, err := d.Alloc(10_000)
+	if err == nil || !strings.Contains(err.Error(), "512 free") {
+		t.Errorf("err = %v, want \"... 512 free\" (capacity 1024, cursor at 512)", err)
+	}
+
+	// Cursor beyond capacity (reserved region larger than the device):
+	// free saturates at 0 instead of wrapping to ~2^64.
+	small := NewDeviceMemory(200) // next = 256 > capacity
+	_, err = small.Alloc(1)
+	if err == nil || !strings.Contains(err.Error(), "0 free") {
+		t.Errorf("err = %v, want \"... 0 free\"", err)
+	}
+}
+
+func TestAllocOverflowGuard(t *testing.T) {
+	d := NewDeviceMemory(1 << 20)
+	// Drive the cursor near 2^64 (whitebox) so addr+n wraps: the guard
+	// must reject it rather than treat the wrapped end as in range.
+	d.next = ^uint64(0) - (1 << 20)
+	if _, err := d.Alloc(math.MaxInt64); err == nil {
+		t.Error("wrapping allocation accepted")
+	}
+	if _, err := d.Alloc(1 << 30); err == nil {
+		t.Error("allocation beyond capacity accepted")
+	}
+}

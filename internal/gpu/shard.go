@@ -1,0 +1,473 @@
+package gpu
+
+import (
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/runner"
+)
+
+// smShard is the execution state of one streaming multiprocessor within a
+// launch: its CTA queue, cache/MSHR/port models, instruction counters,
+// and — on the parallel path — its buffered hook events and private
+// global-memory write view. Shards touch no mutable launch-wide state, so
+// they may run concurrently; everything observable merges in SM order.
+type smShard struct {
+	ls     *launchState
+	sm     int
+	ctaIDs []int
+
+	l1       *l1cache
+	mshrs    *mshr
+	memQ     *mshr
+	portFree int64 // next cycle the L1 port is available
+	lineBuf  []uint64
+
+	instrs    int64 // per-SM dynamic warp instructions (also the guard counter)
+	memInstrs int64
+	hookCalls int64
+
+	// Parallel-path state: buffered hook events (replayed in SM order
+	// after the shards join), the shard's private write view of global
+	// memory, and the run outcome captured for the ordered merge.
+	events []hookEvent
+	wmem   *shardWrites
+	cycles int64
+	err    error
+}
+
+// hookEvent is one deferred Hooks.OnHook call. The warp pointer (not a
+// copy of its view) is retained so replay mutates the same per-warp
+// WarpView the serial path would: HookCtx is the profiler's persistent
+// per-warp scratch (its calling-context cursor) and must carry over from
+// one event of a warp to the next.
+type hookEvent struct {
+	w     *warpState
+	in    *ir.Instr
+	args  []LaneValues
+	mask  uint32
+	cycle int64
+}
+
+// run simulates this SM over its CTA queue and returns its busy cycles.
+func (s *smShard) run(threadsPerCTA, warpsPerCTA int) (int64, error) {
+	ls := s.ls
+	s.l1 = newL1(ls.cfg)
+	s.mshrs = newMSHR(ls.cfg.MSHRs)
+	s.memQ = newMSHR(ls.cfg.MemQueue)
+	s.portFree = 0
+
+	occupancy := ls.cfg.MaxCTAsPerSM
+	if byWarps := ls.cfg.MaxWarpsPerSM / warpsPerCTA; byWarps < occupancy {
+		occupancy = byWarps
+	}
+	// Shared memory bounds residency too: an SM can host only as many
+	// CTAs as its shared-memory capacity divides into the kernel's
+	// per-CTA allocation (the third term of the hardware occupancy min).
+	if smem := ls.kernel.SharedBytes; smem > 0 && ls.cfg.SharedMemPerSM > 0 {
+		if bySmem := int(ls.cfg.SharedMemPerSM / smem); bySmem < occupancy {
+			occupancy = bySmem
+		}
+	}
+	if occupancy < 1 {
+		occupancy = 1
+	}
+
+	var resident []*ctaState
+	next := 0
+	issueAt := int64(0) // next free issue slot (1 instruction per cycle)
+	finish := int64(0)
+	var lastRun *warpState
+
+	admit := func(at int64) {
+		for len(resident) < occupancy && next < len(s.ctaIDs) {
+			cta := s.newCTA(s.ctaIDs[next], threadsPerCTA, warpsPerCTA, at)
+			resident = append(resident, cta)
+			next++
+		}
+	}
+	admit(0)
+
+	for len(resident) > 0 {
+		// Greedy-then-oldest issue through a single-issue port: the last
+		// warp keeps the slot while it is ready; otherwise the oldest
+		// ready warp (admission order) gets it; if nobody is ready the
+		// port idles until the earliest wakeup. GTO lets warps drift
+		// apart as on hardware, which is what exposes inter-warp reuse
+		// to capacity pressure.
+		var w *warpState
+		if lastRun != nil && !lastRun.done && !lastRun.atBarrier && lastRun.readyAt <= issueAt {
+			w = lastRun
+		} else {
+			minReady := int64(-1)
+			for _, cta := range resident {
+				for _, cand := range cta.warps {
+					if cand.done || cand.atBarrier {
+						continue
+					}
+					if minReady < 0 || cand.readyAt < minReady {
+						minReady = cand.readyAt
+					}
+					if w == nil && cand.readyAt <= issueAt {
+						w = cand
+					}
+				}
+			}
+			if w == nil {
+				if minReady < 0 {
+					// Everything is blocked on barriers: a lost-warp deadlock.
+					return 0, &Fault{Kernel: ls.kernel.Name, CTA: deadlockCTA(resident),
+						Msg: "barrier deadlock: all warps waiting"}
+				}
+				issueAt = minReady
+				continue
+			}
+		}
+		if err := s.step(w, issueAt); err != nil {
+			return 0, err
+		}
+		lastRun = w
+		issueAt++
+		if w.readyAt > finish {
+			finish = w.readyAt
+		}
+
+		// Retire finished CTAs, admit pending ones.
+		liveResident := resident[:0]
+		retired := false
+		for _, cta := range resident {
+			if cta.liveWarps == 0 {
+				retired = true
+				continue
+			}
+			liveResident = append(liveResident, cta)
+		}
+		resident = liveResident
+		if retired {
+			admit(issueAt)
+		}
+	}
+	return finish, nil
+}
+
+// deadlockCTA picks the CTA to blame for a barrier deadlock: the
+// lowest-id resident CTA that actually has a warp waiting at a barrier.
+// Blaming resident[0] unconditionally — the previous behavior — pointed
+// at whatever CTA happened to be admitted first, which need not be
+// involved in the deadlock at all when several CTAs are resident.
+func deadlockCTA(resident []*ctaState) int {
+	blame := -1
+	for _, cta := range resident {
+		for _, w := range cta.warps {
+			if w.atBarrier {
+				if blame < 0 || cta.id < blame {
+					blame = cta.id
+				}
+				break
+			}
+		}
+	}
+	if blame < 0 {
+		// No warp waiting anywhere (not reachable from a barrier
+		// deadlock, kept as a total fallback).
+		return resident[0].id
+	}
+	return blame
+}
+
+// newCTA builds the warp states for one CTA.
+func (s *smShard) newCTA(id, threadsPerCTA, warpsPerCTA int, at int64) *ctaState {
+	ls := s.ls
+	g := ls.p.Grid
+	coord := [3]int{id % g[0], (id / g[0]) % g[1], id / (g[0] * g[1])}
+	cta := &ctaState{
+		id:     id,
+		coord:  coord,
+		shared: newSharedMem(ls.kernel.SharedBytes),
+	}
+	for wi := 0; wi < warpsPerCTA; wi++ {
+		mask := uint32(0)
+		for lane := 0; lane < WarpSize; lane++ {
+			if wi*WarpSize+lane < threadsPerCTA {
+				mask |= 1 << uint(lane)
+			}
+		}
+		fr := s.newFrame(ls.kernel, mask, -1, 0)
+		// Bind parameters (uniform across lanes).
+		for pi := range ls.kernel.Params {
+			for lane := 0; lane < WarpSize; lane++ {
+				fr.setReg(pi, lane, ls.p.Args[pi])
+			}
+		}
+		w := &warpState{
+			cta:      cta,
+			frames:   []*frame{fr},
+			readyAt:  at,
+			initMask: mask,
+			view: WarpView{
+				CTALinear: id,
+				CTACoord:  coord,
+				WarpInCTA: wi,
+				InitMask:  mask,
+				SM:        s.sm,
+			},
+		}
+		cta.warps = append(cta.warps, w)
+	}
+	cta.liveWarps = len(cta.warps)
+	return cta
+}
+
+func (s *smShard) newFrame(fn *ir.Function, mask uint32, retDst int, _ int64) *frame {
+	return &frame{
+		fn:       fn,
+		regs:     make([]uint64, fn.NumRegs*WarpSize),
+		stack:    []simtEntry{{block: 0, idx: 0, reconv: reconvNever, mask: mask}},
+		retDst:   retDst,
+		callMask: mask,
+	}
+}
+
+// loadGlobal reads global memory through the shard's write view when one
+// is active (parallel path), falling back to device memory directly on
+// the serial path.
+func (s *smShard) loadGlobal(mt ir.MemType, addr uint64) (uint64, error) {
+	if s.wmem == nil {
+		return s.ls.dev.Mem.load(mt, addr)
+	}
+	if err := s.ls.dev.Mem.check(addr, mt.Size()); err != nil {
+		return 0, err
+	}
+	return s.wmem.load(mt, addr), nil
+}
+
+// storeGlobal writes global memory, buffering into the shard's write view
+// on the parallel path.
+func (s *smShard) storeGlobal(mt ir.MemType, addr uint64, bits uint64) error {
+	if s.wmem == nil {
+		return s.ls.dev.Mem.store(mt, addr, bits)
+	}
+	if err := s.ls.dev.Mem.check(addr, mt.Size()); err != nil {
+		return err
+	}
+	s.wmem.store(mt, addr, bits)
+	return nil
+}
+
+// runParallel fans the SM shards out across idle pool workers and merges
+// them in SM order. Every shard runs to its own completion or fault; the
+// ordered merge then replays hook events and resolves errors exactly as
+// the serial path would have:
+//
+//   - shard k's buffered hooks replay (on this goroutine) before shard
+//     k+1's, reproducing the serial SM-major OnHook order byte for byte —
+//     including the per-cell call ordinals fault injection keys on;
+//   - the first error in that order wins: shard k's first failing hook
+//     (serial execution would have faulted there) preempts shard k's own
+//     execution fault, which preempts everything of shard k+1;
+//   - after an error, later shards are neither replayed nor merged and
+//     buffered writes are discarded, matching the serial path's property
+//     that a failed launch leaves no defined memory image.
+//
+// Global-memory writes buffer in per-shard copy-on-write pages during the
+// parallel phase (device memory is read-only until the shards join) and
+// apply in SM order afterwards, so the final memory image equals the
+// serial one for every kernel whose concurrent cross-SM writes are
+// disjoint — and stays deterministic (last SM in order wins) even when
+// they are not.
+func (ls *launchState) runParallel(shards []*smShard, threadsPerCTA, warpsPerCTA int) error {
+	ls.buffer = true
+	for _, s := range shards {
+		s.wmem = newShardWrites(ls.dev.Mem.buf)
+	}
+	runner.Shards(ls.p.Pool, len(shards), func(i int) {
+		shards[i].cycles, shards[i].err = shards[i].run(threadsPerCTA, warpsPerCTA)
+	})
+	for _, s := range shards {
+		if err := s.replayHooks(); err != nil {
+			return err
+		}
+		if s.err != nil {
+			return s.err
+		}
+	}
+	for _, s := range shards {
+		s.wmem.applyTo(ls.dev.Mem.buf)
+	}
+	for _, s := range shards {
+		ls.merge(s, s.cycles)
+	}
+	return nil
+}
+
+// replayHooks dispatches this shard's buffered hook events in recorded
+// order, stopping at the first hook error and converting it into the
+// same Fault the serial path raises at the hook's call site.
+func (s *smShard) replayHooks() error {
+	hooks := s.ls.p.Hooks
+	for i := range s.events {
+		ev := &s.events[i]
+		ev.w.view.ActiveMask = ev.mask
+		ev.w.view.Cycle = ev.cycle
+		if err := hooks.OnHook(&ev.w.view, ev.in, ev.args); err != nil {
+			return s.fault(ev.w, ev.in.Loc, "hook: %v", err)
+		}
+	}
+	return nil
+}
+
+// hasGlobalAtomics reports whether any function of the module contains an
+// atomic instruction. Atomics are read-modify-write communication between
+// SMs: their results depend on cross-SM interleaving, so such kernels
+// keep the serial SM order (Launch checks this before going parallel).
+func hasGlobalAtomics(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAtom {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+const (
+	shardPageBits = 12 // 4 KB copy-on-write pages
+	shardPageSize = 1 << shardPageBits
+	shardPageMask = shardPageSize - 1
+)
+
+// shardPage is one dirtied 4 KB page: a private copy of the page's
+// launch-entry contents plus a per-byte written bitmap. The bitmap — not
+// a content diff — defines the merge, so a store of the value already in
+// memory still counts as this shard's write (exactly as serial execution
+// would order it).
+type shardPage struct {
+	data    []byte
+	written []uint64 // 1 bit per byte of data
+}
+
+func (p *shardPage) mark(off, n uint64) {
+	for i := off; i < off+n; i++ {
+		p.written[i>>6] |= 1 << (i & 63)
+	}
+}
+
+// shardWrites is one shard's private view of global memory during a
+// parallel launch: reads see the launch-entry image plus this shard's own
+// writes; writes land in copy-on-write pages. Device memory itself stays
+// untouched until the shards join, which is what keeps concurrent shards
+// race-free without any locking on the simulated memory.
+type shardWrites struct {
+	base  []byte
+	pages map[uint64]*shardPage
+
+	// One-entry page cache: warps touch the same page in long runs
+	// (coalesced accesses), so most lookups skip the map.
+	lastIdx  uint64
+	lastPage *shardPage
+}
+
+func newShardWrites(base []byte) *shardWrites {
+	return &shardWrites{base: base, pages: map[uint64]*shardPage{}, lastIdx: ^uint64(0)}
+}
+
+// page returns the dirty page covering idx, or nil if this shard has not
+// written it.
+func (ws *shardWrites) page(idx uint64) *shardPage {
+	if idx == ws.lastIdx {
+		return ws.lastPage
+	}
+	p := ws.pages[idx]
+	if p != nil {
+		ws.lastIdx, ws.lastPage = idx, p
+	}
+	return p
+}
+
+// dirty returns the dirty page covering idx, copying it from base first
+// if this is the shard's first write to it.
+func (ws *shardWrites) dirty(idx uint64) *shardPage {
+	if p := ws.page(idx); p != nil {
+		return p
+	}
+	start := idx << shardPageBits
+	end := start + shardPageSize
+	if end > uint64(len(ws.base)) {
+		end = uint64(len(ws.base))
+	}
+	p := &shardPage{
+		data:    make([]byte, end-start),
+		written: make([]uint64, (end-start+63)/64),
+	}
+	copy(p.data, ws.base[start:end])
+	ws.pages[idx] = p
+	ws.lastIdx, ws.lastPage = idx, p
+	return p
+}
+
+// load reads a value; the access is already bounds-checked against the
+// device, so addr+size cannot overflow here.
+func (ws *shardWrites) load(mt ir.MemType, addr uint64) uint64 {
+	n := uint64(mt.Size())
+	idx := addr >> shardPageBits
+	if (addr+n-1)>>shardPageBits == idx {
+		if p := ws.page(idx); p != nil {
+			return loadFrom(p.data, mt, addr&shardPageMask)
+		}
+		return loadFrom(ws.base, mt, addr)
+	}
+	// Access spans a page boundary: assemble bytes from both sides.
+	var tmp [8]byte
+	for i := uint64(0); i < n; i++ {
+		a := addr + i
+		if p := ws.page(a >> shardPageBits); p != nil {
+			tmp[i] = p.data[a&shardPageMask]
+		} else {
+			tmp[i] = ws.base[a]
+		}
+	}
+	return loadFrom(tmp[:], mt, 0)
+}
+
+// store buffers a write into the shard's dirty pages.
+func (ws *shardWrites) store(mt ir.MemType, addr uint64, bits uint64) {
+	n := uint64(mt.Size())
+	idx := addr >> shardPageBits
+	if (addr+n-1)>>shardPageBits == idx {
+		off := addr & shardPageMask
+		p := ws.dirty(idx)
+		storeTo(p.data, mt, off, bits)
+		p.mark(off, n)
+		return
+	}
+	var tmp [8]byte
+	storeTo(tmp[:], mt, 0, bits)
+	for i := uint64(0); i < n; i++ {
+		a := addr + i
+		off := a & shardPageMask
+		p := ws.dirty(a >> shardPageBits)
+		p.data[off] = tmp[i]
+		p.mark(off, 1)
+	}
+}
+
+// applyTo copies every written byte into dst. Shards apply in SM order,
+// so for bytes several shards wrote the highest SM's value lands last —
+// the same last-writer the serial SM-major order produces.
+func (ws *shardWrites) applyTo(dst []byte) {
+	for idx, p := range ws.pages {
+		out := dst[idx<<shardPageBits:]
+		for wi, word := range p.written {
+			if word == 0 {
+				continue
+			}
+			base := wi << 6
+			for b := 0; b < 64; b++ {
+				if word&(1<<uint(b)) != 0 {
+					out[base+b] = p.data[base+b]
+				}
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/runner"
 )
 
 // CopyKind is a cudaMemcpy direction.
@@ -112,6 +113,11 @@ type LaunchOptions struct {
 	L1Warps int
 	// MaxWarpInstrs overrides the runaway-kernel guard (0 = default).
 	MaxWarpInstrs int64
+	// Pool, when non-nil with more than one worker, lets the executor fan
+	// one launch's SM shards out across idle pool workers. Results are
+	// byte-identical to the serial path at every worker count (see
+	// gpu.LaunchParams.Pool); a nil pool keeps launches serial.
+	Pool *runner.Pool
 	// Ctx, when non-nil, bounds every subsequent Launch: the executor
 	// polls it at the warp-step guard and aborts the kernel when the
 	// context ends (per-cell deadlines in the experiment runner). It
@@ -280,6 +286,7 @@ func (c *Context) Launch(prog *instrument.Program, kernel string, grid, block [3
 	res, err := c.Dev.Launch(f, gpu.LaunchParams{
 		Grid: grid, Block: block, Args: bits,
 		Hooks:         hooks,
+		Pool:          c.Options.Pool,
 		L1WarpsPerCTA: l1Warps,
 		MaxWarpInstrs: c.Options.MaxWarpInstrs,
 		Ctx:           c.Options.Ctx,

@@ -35,7 +35,10 @@
 // Leaf functions must not call Map or Do themselves: a leaf holds a
 // worker slot for its whole duration, and nesting gated work inside
 // gated work can exhaust the pool and deadlock at small -j. Route nested
-// fan-out through Concurrent instead.
+// fan-out through Concurrent instead — or, for divisible work inside a
+// leaf (the GPU executor's per-SM shards), through Shards, which only
+// recruits idle workers with a non-blocking acquire and so can never
+// deadlock the pool.
 package runner
 
 import (
