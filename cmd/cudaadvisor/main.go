@@ -62,6 +62,7 @@ import (
 	"cudaadvisor/internal/core"
 	"cudaadvisor/internal/experiments"
 	"cudaadvisor/internal/faultinject"
+	"cudaadvisor/internal/findings"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/irtext"
@@ -119,7 +120,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "profile":
 		err = profileCmd(rest, env.Pool, stdout, stderr)
 	case "lint":
-		err = lintCmd(rest, stdout)
+		err = lintCmd(rest, stdout, stderr)
+	case "advise":
+		err = adviseCmd(rest, env, stdout, stderr)
+	case "checkreport":
+		err = checkReportCmd(rest, stdout)
 	case "figure4":
 		err = experiments.WriteFigure4Env(stdout, env)
 	case "figure5":
@@ -174,7 +179,10 @@ global flags:
 commands:
   apps         list the benchmark applications (Table 2)
   profile      profile one application: cudaadvisor profile <app> [-arch kepler|pascal] [-scale N] [-mode rd|md|bd]
-  lint         static divergence analysis (no simulation): cudaadvisor lint <app|file.mir>
+  lint         static divergence analysis (no simulation): cudaadvisor lint [-format text|json] [-arch kepler|pascal] <app|file.mir>
+  advise       ranked static+dynamic optimization report: cudaadvisor advise [-arch kepler|pascal] [-format text|json] [-scale N] <app|file.mir>
+               (a .mir file gets a static-only report; apps are profiled and joined)
+  checkreport  validate advisor-report JSON files: cudaadvisor checkreport <file.json>...
   figure4      reuse distance histograms
   figure5      memory divergence distributions (Kepler + Pascal)
   table3       branch divergence table
@@ -185,40 +193,150 @@ commands:
   all          everything above (figures run concurrently; figure10 last, alone)`)
 }
 
-// lintCmd runs the static advisor over a benchmark application's device
-// code or a textual IR file.
-func lintCmd(args []string, stdout io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("lint wants one application name or .mir file (see 'cudaadvisor apps')")
+// archConfig resolves the -arch flag value.
+func archConfig(name string) (gpu.ArchConfig, error) {
+	switch name {
+	case "kepler":
+		return gpu.KeplerK40c(), nil
+	case "pascal":
+		return gpu.PascalP100(), nil
 	}
-	target := args[0]
-	app := apps.ByName(target)
-	var res *staticadvisor.ModuleResult
-	switch {
-	case app != nil:
+	return gpu.ArchConfig{}, fmt.Errorf("unknown architecture %q", name)
+}
+
+// analyzeTarget runs the static advisor over a benchmark application's
+// device code (under its launch-layout hint) or a textual IR file (no
+// hint: conservative tid.y/tid.z treatment).
+func analyzeTarget(target string) (*staticadvisor.ModuleResult, error) {
+	if app := apps.ByName(target); app != nil {
 		m, err := app.Module()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if res, err = staticadvisor.Analyze(m); err != nil {
-			return err
-		}
-	case strings.HasSuffix(target, ".mir"):
+		return staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
+	}
+	if strings.HasSuffix(target, ".mir") {
 		src, err := os.ReadFile(target)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		m, err := irtext.Parse(target, string(src))
 		if err != nil {
+			return nil, err
+		}
+		return staticadvisor.Analyze(m)
+	}
+	return nil, fmt.Errorf("unknown application %q (see 'cudaadvisor apps', or pass a .mir file)", target)
+}
+
+// lintCmd runs the static advisor over a benchmark application's device
+// code or a textual IR file. -format json emits the findings in the
+// versioned advisor-report schema (static evidence only).
+func lintCmd(args []string, stdout, stderr io.Writer) error {
+	fl := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	format := fl.String("format", "text", "output format: text or json")
+	arch := fl.String("arch", "kepler", "architecture whose line size json predicted-lines use")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() != 1 {
+		return fmt.Errorf("lint wants one application name or .mir file (see 'cudaadvisor apps')")
+	}
+	res, err := analyzeTarget(fl.Arg(0))
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		report.StaticLint(stdout, res)
+		return nil
+	case "json":
+		cfg, err := archConfig(*arch)
+		if err != nil {
 			return err
 		}
-		if res, err = staticadvisor.Analyze(m); err != nil {
-			return err
-		}
+		return writeStaticReport(stdout, res, cfg, 0)
 	default:
+		return fmt.Errorf("unknown lint format %q (want text or json)", *format)
+	}
+}
+
+// writeStaticReport encodes a static-only findings report (no dynamic
+// evidence; every verdict static-only) in the advisor-report schema.
+func writeStaticReport(w io.Writer, res *staticadvisor.ModuleResult, cfg gpu.ArchConfig, scale int) error {
+	fs := findings.FromStatic(res, cfg.L1LineSize)
+	rep := findings.NewReport(res.Module.Name, cfg.Name, cfg.L1LineSize, scale, fs)
+	raw, err := findings.Encode(rep)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// adviseCmd renders the ranked optimization report: for a benchmark
+// application, a profiled run joined with the static analysis; for a
+// .mir file, the static findings alone in the same schema.
+func adviseCmd(args []string, env experiments.Env, stdout, stderr io.Writer) error {
+	fl := flag.NewFlagSet("advise", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	arch := fl.String("arch", "kepler", "architecture: kepler or pascal")
+	format := fl.String("format", "text", "output format: text or json")
+	scale := fl.Int("scale", 1, "input scale factor")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() != 1 {
+		return fmt.Errorf("advise wants one application name or .mir file (see 'cudaadvisor apps')")
+	}
+	cfg, err := archConfig(*arch)
+	if err != nil {
+		return err
+	}
+	target := fl.Arg(0)
+	if app := apps.ByName(target); app != nil {
+		env.Scale = *scale
+		return experiments.WriteAdviseEnv(stdout, env, app, cfg, *format)
+	}
+	if !strings.HasSuffix(target, ".mir") {
 		return fmt.Errorf("unknown application %q (see 'cudaadvisor apps', or pass a .mir file)", target)
 	}
-	report.StaticLint(stdout, res)
+	res, err := analyzeTarget(target)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		return writeStaticReport(stdout, res, cfg, 0)
+	case "text":
+		fs := findings.FromStatic(res, cfg.L1LineSize)
+		findings.WriteText(stdout, findings.NewReport(res.Module.Name, cfg.Name, cfg.L1LineSize, 0, fs))
+		return nil
+	default:
+		return fmt.Errorf("unknown advise format %q (want text or json)", *format)
+	}
+}
+
+// checkReportCmd validates advisor-report JSON files: each must decode
+// strictly (no unknown fields) and carry the current schema version.
+// The CI pipeline runs it over every generated report.
+func checkReportCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("checkreport wants one or more report files")
+	}
+	for _, path := range args {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rep, err := findings.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(stdout, "%s: ok (%s, %s on %s, %d findings)\n",
+			path, rep.Schema, rep.App, rep.Arch, len(rep.Findings))
+	}
 	return nil
 }
 

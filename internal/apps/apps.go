@@ -29,6 +29,13 @@ type App struct {
 	Suite       string // "rodinia" or "polybench"
 	WarpsPerCTA int    // Table 2
 
+	// BlockDims is the CTA block dimension every kernel launch of this
+	// application uses (the launch-layout hint the static advisor
+	// resolves tid.y/tid.z strides against). The zero value means no
+	// hint; an application whose kernels launch with differing block
+	// shapes must leave it zero.
+	BlockDims [3]int
+
 	// SourceFile and Source hold the device code in textual IR.
 	SourceFile string
 	Source     string

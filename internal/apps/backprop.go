@@ -295,6 +295,7 @@ func init() {
 		Description: "Neural network back-propagation: tiled layer-forward reduction + weight adjustment",
 		Suite:       "rodinia",
 		WarpsPerCTA: 8,
+		BlockDims:   [3]int{16, 16, 1},
 		SourceFile:  "backprop.mir",
 		Source:      backpropSource,
 		Run:         runBackprop,

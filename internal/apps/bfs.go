@@ -273,6 +273,7 @@ func init() {
 		Description:     "Breadth-first search over a CSR random graph (frontier expansion)",
 		Suite:           "rodinia",
 		WarpsPerCTA:     16,
+		BlockDims:       [3]int{512, 1, 1},
 		SourceFile:      "bfs.mir",
 		Source:          bfsSource,
 		Run:             runBFS,

@@ -178,6 +178,7 @@ func init() {
 		Description:     "BiCGStab linear solver sub-kernels (s = A^T r, q = A p)",
 		Suite:           "polybench",
 		WarpsPerCTA:     8,
+		BlockDims:       [3]int{256, 1, 1},
 		SourceFile:      "bicg.mir",
 		Source:          bicgSource,
 		Run:             runBicg,

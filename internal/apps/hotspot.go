@@ -212,6 +212,7 @@ func init() {
 		Description:     "Chip temperature simulation: clamped Jacobi stencil with shared-memory tiles",
 		Suite:           "rodinia",
 		WarpsPerCTA:     8,
+		BlockDims:       [3]int{16, 16, 1},
 		SourceFile:      "hotspot.mir",
 		Source:          hotspotSource,
 		Run:             runHotspot,

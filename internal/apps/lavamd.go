@@ -358,6 +358,7 @@ func init() {
 		Description: "Molecular dynamics: per-box particle interactions over 3D neighbor lists",
 		Suite:       "rodinia",
 		WarpsPerCTA: 4,
+		BlockDims:   [3]int{128, 1, 1},
 		SourceFile:  "lavaMD.mir",
 		Source:      lavamdSource,
 		Run:         runLavaMD,

@@ -119,6 +119,7 @@ func init() {
 		Description: "Nearest neighbor: per-record Euclidean distance to a query point",
 		Suite:       "rodinia",
 		WarpsPerCTA: 8,
+		BlockDims:   [3]int{256, 1, 1},
 		SourceFile:  "nn.mir",
 		Source:      nnSource,
 		Run:         runNN,

@@ -250,6 +250,7 @@ func init() {
 		Description: "Needleman-Wunsch sequence alignment: tiled wavefront dynamic programming",
 		Suite:       "rodinia",
 		WarpsPerCTA: 1,
+		BlockDims:   [3]int{16, 1, 1},
 		SourceFile:  "nw.mir",
 		Source:      nwSource,
 		Run:         runNW,

@@ -379,6 +379,7 @@ func init() {
 		Description: "Speckle-reducing anisotropic diffusion (two-kernel v2 variant)",
 		Suite:       "rodinia",
 		WarpsPerCTA: 8,
+		BlockDims:   [3]int{16, 16, 1},
 		SourceFile:  "srad_v2.mir",
 		Source:      sradSource,
 		Run:         runSrad,

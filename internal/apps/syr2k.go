@@ -132,6 +132,7 @@ func init() {
 		Description:     "Symmetric rank-2K matrix update C = alpha*(A*B^T + B*A^T) + beta*C",
 		Suite:           "polybench",
 		WarpsPerCTA:     8,
+		BlockDims:       [3]int{32, 8, 1},
 		SourceFile:      "syr2k.mir",
 		Source:          syr2kSource,
 		Run:             runSyr2k,

@@ -127,6 +127,7 @@ func init() {
 		Description:     "Symmetric rank-K matrix update C = alpha*A*A^T + beta*C",
 		Suite:           "polybench",
 		WarpsPerCTA:     8,
+		BlockDims:       [3]int{32, 8, 1},
 		SourceFile:      "syrk.mir",
 		Source:          syrkSource,
 		Run:             runSyrk,

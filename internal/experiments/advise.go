@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/findings"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profcache"
+	"cudaadvisor/internal/staticadvisor"
+)
+
+// adviseCell builds the canonical advisor-report bytes for one
+// application on one architecture: profile with memory and block
+// instrumentation, analyze the same module statically under the app's
+// launch-layout hint, join the two per site, rank, and encode.
+func adviseCell(env Env, ctx context.Context, cell string, app *apps.App, cfg gpu.ArchConfig) ([]byte, error) {
+	p, err := env.profileCell(ctx, cell, app, cfg, instrument.MemoryAndBlocks())
+	if err != nil {
+		return nil, err
+	}
+	m, err := app.Module()
+	if err != nil {
+		return nil, fmt.Errorf("%s: module: %w", app.Name, err)
+	}
+	res, err := staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
+	if err != nil {
+		return nil, fmt.Errorf("%s: analyze: %w", app.Name, err)
+	}
+	fs := findings.FromStatic(res, cfg.L1LineSize)
+	prof := findings.CollectProfile(p, cfg.L1LineSize)
+	findings.Join(fs, prof, cfg)
+	rep := findings.NewReport(app.Name, cfg.Name, cfg.L1LineSize, env.Scale, fs)
+	return findings.Encode(rep)
+}
+
+// AdviseReport returns the encoded advisor report for one application on
+// one architecture, serving it from the cache when active. The report
+// bytes are canonical — byte-identical across worker counts and across
+// cold and warm cache runs — and the cached entry is the final encoded
+// report, so a warm run skips both the profiling and the join.
+func AdviseReport(env Env, app *apps.App, cfg gpu.ArchConfig) ([]byte, error) {
+	cell := "advise/" + cfg.Name + "/" + app.Name
+	cells := []string{cell}
+	reps, errs, err := runCells(env, cells, func(ctx context.Context, _ int) ([]byte, error) {
+		if !env.cacheActive() {
+			return adviseCell(env, ctx, cell, app, cfg)
+		}
+		key := profcache.AdviseKey(app, cfg, instrument.MemoryAndBlocks(), env.Scale, env.TraceCap, findings.SchemaVersion)
+		return env.Cache.Advise(ctx, key, func(ctx context.Context) ([]byte, error) {
+			return adviseCell(env, ctx, cell, app, cfg)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if errs != nil && errs[0] != nil {
+		return nil, errs[0]
+	}
+	return reps[0], nil
+}
+
+// WriteAdviseEnv renders the advisor report for one application in the
+// requested format ("text" or "json"). Both formats are views of the
+// same encoded report object, so the cache serves either. Under
+// KeepGoing a failing cell renders as the usual annotation line and the
+// error is still returned for the non-zero exit.
+func WriteAdviseEnv(w io.Writer, env Env, app *apps.App, cfg gpu.ArchConfig, format string) error {
+	raw, err := AdviseReport(env, app, cfg)
+	if err != nil {
+		if env.KeepGoing {
+			fmt.Fprint(w, failedCell("advise/"+cfg.Name+"/"+app.Name, err))
+		}
+		return err
+	}
+	switch format {
+	case "json":
+		_, err = w.Write(raw)
+		return err
+	case "text":
+		rep, err := findings.Decode(raw)
+		if err != nil {
+			return err
+		}
+		findings.WriteText(w, rep)
+		return nil
+	default:
+		return fmt.Errorf("unknown advise format %q (want text or json)", format)
+	}
+}

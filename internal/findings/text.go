@@ -1,0 +1,72 @@
+package findings
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the ranked report as the human-readable advisor
+// output. The rendering is a pure function of the report, so text and
+// JSON stay views of the same cacheable object.
+func WriteText(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "advisor report: %s on %s (line size %dB, scale %d)\n",
+		r.App, r.Arch, r.LineSize, r.Scale)
+	sum := r.Summary()
+	fmt.Fprintf(w, "findings: %d total — %d corroborated, %d refuted, %d unobserved",
+		len(r.Findings), sum[VerdictCorroborated], sum[VerdictRefuted], sum[VerdictUnobserved])
+	if n := sum[VerdictStaticOnly]; n > 0 {
+		fmt.Fprintf(w, ", %d static-only", n)
+	}
+	fmt.Fprintf(w, "\n")
+
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		fmt.Fprintf(w, "\n%2d. [%s] %s @%s block %s (%s)\n",
+			i+1, f.Kind, f.Site, f.Site.Func, f.Site.Block, f.Verdict)
+		writeStatic(w, f)
+		writeDynamic(w, f)
+		if f.EstimatedCycles > 0 {
+			fmt.Fprintf(w, "    benefit: ~%d cycles\n", f.EstimatedCycles)
+		}
+		fmt.Fprintf(w, "    advice:  %s\n", f.Advice)
+	}
+}
+
+func writeStatic(w io.Writer, f *Finding) {
+	switch f.Kind {
+	case KindBranch:
+		fmt.Fprintf(w, "    static:  condition %%%s is %s; influence region of %d blocks\n",
+			f.Static.Cond, f.Static.Shape, len(f.Static.Region))
+	case KindAccess:
+		fmt.Fprintf(w, "    static:  %s %dB %s", f.Static.AccessOp, f.Static.AccessBytes, f.Static.Class)
+		if f.Static.Class == "coalesced" || f.Static.Class == "strided" {
+			fmt.Fprintf(w, " (stride %dB)", f.Static.StrideBytes)
+		}
+		fmt.Fprintf(w, ", predicted %d lines/warp\n", f.Static.PredictedLines)
+	case KindBarrier:
+		fmt.Fprintf(w, "    static:  barrier reachable under divergent control\n")
+	}
+}
+
+func writeDynamic(w io.Writer, f *Finding) {
+	d := f.Dynamic
+	if d == nil {
+		return
+	}
+	if !d.Observed {
+		fmt.Fprintf(w, "    dynamic: site never executed on this input\n")
+		return
+	}
+	switch f.Kind {
+	case KindAccess:
+		fmt.Fprintf(w, "    dynamic: %d warp accesses, measured %.2f lines/warp (max %d), %d diverged",
+			d.WarpExecs, d.MeasuredLines, d.MaxLines, d.DivergentExecs)
+		if d.ReuseSamples > 0 {
+			fmt.Fprintf(w, "; reuse %d/%d", d.ReuseReused, d.ReuseSamples)
+		}
+		fmt.Fprintf(w, "\n")
+	default:
+		fmt.Fprintf(w, "    dynamic: %d block executions, %d divergent\n",
+			d.WarpExecs, d.DivergentExecs)
+	}
+}

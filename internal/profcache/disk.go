@@ -105,6 +105,14 @@ type cyclesPayload struct {
 	MaxCTAs int
 }
 
+// advisePayload is the stable serialized form of an advise entry: the
+// canonical report bytes (base64 under encoding/json), so a warm load
+// returns byte-identical report output.
+type advisePayload struct {
+	Key    string
+	Report []byte
+}
+
 func encodeMemDiv(r *analysis.MemDivResult) memDivPayload {
 	p := memDivPayload{
 		LineSize:       r.LineSize,
@@ -240,6 +248,20 @@ func (c *Cache) loadCycles(key Key) (CycleStats, bool) {
 	return CycleStats{Cycles: p.Cycles, MaxCTAs: p.MaxCTAs}, true
 }
 
+// loadAdvise reads and verifies the disk entry for an advise key.
+func (c *Cache) loadAdvise(key Key) ([]byte, bool) {
+	raw, ok := c.loadPayload(key)
+	if !ok {
+		return nil, false
+	}
+	var p advisePayload
+	if err := json.Unmarshal(raw, &p); err != nil || p.Key != key.Canonical() || len(p.Report) == 0 {
+		c.badEntries.Add(1)
+		return nil, false
+	}
+	return p.Report, true
+}
+
 // loadPayload reads an entry file and returns its checksum-verified
 // payload bytes. A missing file is a silent miss; anything else wrong
 // with the file is a counted bad entry (and still a miss).
@@ -303,6 +325,14 @@ func (c *Cache) storeCycles(key Key, cyc CycleStats) {
 		return
 	}
 	c.storePayload(key, cyclesPayload{Key: key.Canonical(), Cycles: cyc.Cycles, MaxCTAs: cyc.MaxCTAs})
+}
+
+// storeAdvise serializes an advise entry to disk.
+func (c *Cache) storeAdvise(key Key, rep []byte) {
+	if c.dir == "" {
+		return
+	}
+	c.storePayload(key, advisePayload{Key: key.Canonical(), Report: rep})
 }
 
 // storePayload writes "<header>\n<json>" atomically (temp + rename).

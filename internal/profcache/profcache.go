@@ -50,20 +50,21 @@ import (
 )
 
 // Key identifies one cacheable cell. The zero value is not valid; build
-// keys with ProfileKey or CyclesKey so every determining input is
-// captured. Keys are content-addressed: App carries the application
-// name, IR the digest of its device code, and Arch/Opts canonical
-// renderings of the full configuration structs, so changing any field of
-// any input changes the key.
+// keys with ProfileKey, CyclesKey or AdviseKey so every determining
+// input is captured. Keys are content-addressed: App carries the
+// application name, IR the digest of its device code, and Arch/Opts
+// canonical renderings of the full configuration structs, so changing
+// any field of any input changes the key.
 type Key struct {
-	Kind     string // "profile" or "cycles"
+	Kind     string // "profile", "cycles" or "advise"
 	App      string
 	IR       string // hex digest of the application's device IR text
 	Arch     string // canonical rendering of the gpu.ArchConfig
 	Opts     string // canonical rendering of the instrument.Options ("" for cycles)
 	L1Warps  int    // cycles only: the rt bypassing setting (0 = none)
 	Scale    int
-	TraceCap int // profile only: trace-buffer bound (0 = unbounded)
+	TraceCap int    // profile only: trace-buffer bound (0 = unbounded)
+	Schema   string // advise only: the report schema version the entry holds
 }
 
 // ProfileKey is the key of one instrumented profiling run. The key is
@@ -95,6 +96,17 @@ func CyclesKey(app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) Key {
 	}
 }
 
+// AdviseKey is the key of one advisor report: the joined
+// static/dynamic findings of an instrumented profiling run, encoded in
+// the versioned report schema. The schema version is part of the key,
+// so a schema bump orphans old entries instead of serving stale shapes.
+func AdviseKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale, traceCap int, schema string) Key {
+	k := ProfileKey(app, cfg, opts, scale, traceCap)
+	k.Kind = "advise"
+	k.Schema = schema
+	return k
+}
+
 // irFingerprint digests the application's device code. The textual IR is
 // the program; the host driver is Go code and therefore covered by the
 // store version, not the key.
@@ -108,8 +120,8 @@ func irFingerprint(app *apps.App) string {
 
 // Canonical renders the key as an unambiguous string: the preimage of ID.
 func (k Key) Canonical() string {
-	return fmt.Sprintf("kind=%s|app=%q|ir=%s|arch=%q|opts=%q|l1warps=%d|scale=%d|tracecap=%d",
-		k.Kind, k.App, k.IR, k.Arch, k.Opts, k.L1Warps, k.Scale, k.TraceCap)
+	return fmt.Sprintf("kind=%s|app=%q|ir=%s|arch=%q|opts=%q|l1warps=%d|scale=%d|tracecap=%d|schema=%q",
+		k.Kind, k.App, k.IR, k.Arch, k.Opts, k.L1Warps, k.Scale, k.TraceCap, k.Schema)
 }
 
 // ID is the content address: the hex SHA-256 of the canonical key.
@@ -156,12 +168,14 @@ type Cache struct {
 	badEntries, stores, storeErrors atomic.Int64
 }
 
-// entry is one single-flight slot: ready closes when res/cyc/err are set.
+// entry is one single-flight slot: ready closes when res/cyc/advise/err
+// are set.
 type entry struct {
-	ready chan struct{}
-	res   *Results
-	cyc   CycleStats
-	err   error
+	ready  chan struct{}
+	res    *Results
+	cyc    CycleStats
+	advise []byte
+	err    error
 }
 
 // New returns a cache. A non-empty dir enables the on-disk store rooted
@@ -286,6 +300,41 @@ func (c *Cache) Cycles(ctx context.Context, key Key, fill func(context.Context) 
 	c.misses.Add(1)
 	c.storeCycles(key, cyc)
 	return cyc, nil
+}
+
+// Advise is Profile for encoded advisor reports: fill produces the
+// canonical report bytes (which embed their own schema version, also
+// part of the key), and warm runs serve the bytes without re-profiling
+// or re-joining. The returned slice is shared between requesters and
+// must be treated as immutable.
+func (c *Cache) Advise(ctx context.Context, key Key, fill func(context.Context) ([]byte, error)) ([]byte, error) {
+	id := key.ID()
+	e, owner := c.claim(id)
+	if !owner {
+		if err := wait(ctx, e); err != nil {
+			return nil, err
+		}
+		c.memoHits.Add(1)
+		return e.advise, nil
+	}
+	if rep, ok := c.loadAdvise(key); ok {
+		e.advise = rep
+		close(e.ready)
+		c.diskHits.Add(1)
+		return rep, nil
+	}
+	rep, err := fill(ctx)
+	if err != nil {
+		e.err = err
+		c.abandon(id)
+		close(e.ready)
+		return nil, err
+	}
+	e.advise = rep
+	close(e.ready)
+	c.misses.Add(1)
+	c.storeAdvise(key, rep)
+	return rep, nil
 }
 
 // Results is the analysis bundle of one profiled cell: every merged

@@ -257,6 +257,72 @@ func TestCyclesDiskRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAdviseRoundTrip: advise entries cache opaque report bytes — a warm
+// load returns them byte-identical without invoking the fill, a damaged
+// entry degrades to a counted miss, and the schema version is part of
+// the key so a bump orphans old entries instead of serving them.
+func TestAdviseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	app := apps.ByName("bfs")
+	key := profcache.AdviseKey(app, gpu.KeplerK40c(), bothOpts, 1, 0, "advisor-report/v1")
+	want := []byte("{\n  \"schema\": \"advisor-report/v1\"\n}\n")
+
+	cold := profcache.New(dir)
+	got, err := cold.Advise(context.Background(), key, func(context.Context) ([]byte, error) {
+		return want, nil
+	})
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("cold advise = %q, %v", got, err)
+	}
+	if s := cold.Stats(); s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("cold stats = %+v, want 1 miss and 1 store", s)
+	}
+
+	warm := profcache.New(dir)
+	got, err = warm.Advise(context.Background(), key, func(context.Context) ([]byte, error) {
+		t.Error("warm load must not re-run the join")
+		return nil, fmt.Errorf("unexpected fill")
+	})
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("warm advise = %q, %v; want the stored bytes", got, err)
+	}
+	if s := warm.Stats(); s.DiskHits != 1 || s.Misses != 0 {
+		t.Errorf("warm stats = %+v, want exactly 1 disk hit", s)
+	}
+
+	// A schema bump is a different key: the old entry is not served.
+	bumped := profcache.AdviseKey(app, gpu.KeplerK40c(), bothOpts, 1, 0, "advisor-report/v2")
+	if bumped.ID() == key.ID() {
+		t.Fatalf("schema version is not part of the advise key: %s", key.Canonical())
+	}
+	filled := false
+	if _, err := warm.Advise(context.Background(), bumped, func(context.Context) ([]byte, error) {
+		filled = true
+		return []byte("v2\n"), nil
+	}); err != nil || !filled {
+		t.Fatalf("bumped-schema advise: filled=%v err=%v, want a fresh fill", filled, err)
+	}
+
+	// Damaging the entry degrades to a counted miss and the refill
+	// repairs the store.
+	files, _ := filepath.Glob(filepath.Join(dir, "*.cell"))
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("junk\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	damaged := profcache.New(dir)
+	got, err = damaged.Advise(context.Background(), key, func(context.Context) ([]byte, error) {
+		return want, nil
+	})
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("advise after damage = %q, %v; a bad entry must be a miss", got, err)
+	}
+	if s := damaged.Stats(); s.BadEntries != 1 || s.Misses != 1 {
+		t.Errorf("damaged stats = %+v, want 1 bad entry and 1 miss", s)
+	}
+}
+
 // TestCorruptEntriesAreMisses: every way an on-disk entry can be damaged
 // — truncation, garbage, a version bump, a checksum mismatch, emptiness,
 // or an entry filed under the wrong key — degrades to a counted miss:

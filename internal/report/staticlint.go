@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"cudaadvisor/internal/findings"
 	"cudaadvisor/internal/staticadvisor"
 )
 
@@ -11,7 +12,17 @@ import (
 // the divergence summary, the thread-varying branches, the classified
 // global-memory accesses with predicted lines per warp on both
 // evaluated line sizes, and any barriers under divergent control.
+//
+// The per-finding lines are rendered from the unified findings model
+// (findings.FromStatic), so the lint and the advise report are two
+// views of the same objects; only the per-function summary header reads
+// the FuncResult directly.
 func StaticLint(w io.Writer, res *staticadvisor.ModuleResult) {
+	byFunc := make(map[string][]findings.Finding)
+	for _, f := range findings.FromStatic(res, staticadvisor.KeplerLineSize) {
+		byFunc[f.Site.Func] = append(byFunc[f.Site.Func], f)
+	}
+
 	fmt.Fprintf(w, "static advisor: module %s\n", res.Module.Name)
 	for _, fr := range res.Funcs {
 		kw := "func"
@@ -24,25 +35,36 @@ func StaticLint(w io.Writer, res *staticadvisor.ModuleResult) {
 		if fr.DivergentEntry {
 			fmt.Fprintf(w, "  (reachable under divergent control from a call site)\n")
 		}
-		for _, b := range fr.Branches {
-			fmt.Fprintf(w, "  branch block %-12s on %%%s (%s) at %s\n", b.Block+":", b.Cond, b.Shape, b.Loc)
+		fs := byFunc[fr.Fn.Name]
+		for _, f := range fs {
+			if f.Kind == findings.KindBranch {
+				fmt.Fprintf(w, "  branch block %-12s on %%%s (%s) at %s\n",
+					f.Site.Block+":", f.Static.Cond, f.Static.Shape, f.Site)
+			}
 		}
 		if len(fr.Accesses) > 0 {
 			fmt.Fprintf(w, "  global memory (predicted lines/warp @%dB Kepler / @%dB Pascal):\n",
 				staticadvisor.KeplerLineSize, staticadvisor.PascalLineSize)
-			for _, a := range fr.Accesses {
-				detail := a.Class.String()
-				if a.Class == staticadvisor.ClassCoalesced || a.Class == staticadvisor.ClassStrided {
-					detail = fmt.Sprintf("%s stride %dB", a.Class, a.Stride)
+			for _, f := range fs {
+				if f.Kind != findings.KindAccess {
+					continue
+				}
+				detail := f.Static.Class
+				if detail == "coalesced" || detail == "strided" {
+					detail = fmt.Sprintf("%s stride %dB", f.Static.Class, f.Static.StrideBytes)
 				}
 				fmt.Fprintf(w, "    %-7s %dB block %-12s %-20s %2d / %2d  at %s\n",
-					a.Op, a.Bytes, a.Block+":", detail,
-					a.PredictedLines(staticadvisor.KeplerLineSize),
-					a.PredictedLines(staticadvisor.PascalLineSize), a.Loc)
+					f.Static.AccessOp, f.Static.AccessBytes, f.Site.Block+":", detail,
+					f.Static.PredictedLines,
+					findings.PredictLines(f.Static.Class, f.Static.StrideBytes,
+						f.Static.AccessBytes, staticadvisor.PascalLineSize),
+					f.Site)
 			}
 		}
-		for _, b := range fr.Barriers {
-			fmt.Fprintf(w, "  BARRIER under divergent control: block %s at %s\n", b.Block, b.Loc)
+		for _, f := range fs {
+			if f.Kind == findings.KindBarrier {
+				fmt.Fprintf(w, "  BARRIER under divergent control: block %s at %s\n", f.Site.Block, f.Site)
+			}
 		}
 	}
 }
@@ -59,6 +81,20 @@ type AgreementRow struct {
 	Both          int // flagged and observed
 	StaticOnly    int // flagged, never observed divergent (false positives)
 	DynOnly       int // observed, not flagged (false negatives: must be 0)
+}
+
+// RowFromAgreement adapts the unified model's cross-validation counts
+// (findings.BlockAgreement) into a table row.
+func RowFromAgreement(app string, a findings.Agreement) AgreementRow {
+	return AgreementRow{
+		App:           app,
+		Blocks:        a.Blocks,
+		StaticFlagged: a.StaticFlagged,
+		DynDivergent:  a.DynDivergent,
+		Both:          a.Both,
+		StaticOnly:    a.StaticOnly,
+		DynOnly:       a.DynOnly,
+	}
 }
 
 // Agreement returns the fraction of executed blocks where the static

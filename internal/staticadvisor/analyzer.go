@@ -9,18 +9,20 @@ import "cudaadvisor/internal/ir"
 // terminates.
 type analyzer struct {
 	mod     *ir.Module
+	layout  Layout
 	ctxs    map[*ir.Function]*context
 	local   map[*ir.Function]localResult
-	summary map[*ir.Function]Value         // current return shapes
+	summary map[*ir.Function]Value          // current return shapes
 	callers map[*ir.Function][]*ir.Function // static reverse call graph
 
 	queue  []*ir.Function
 	queued map[*ir.Function]bool
 }
 
-func newAnalyzer(m *ir.Module) *analyzer {
+func newAnalyzer(m *ir.Module, lay Layout) *analyzer {
 	a := &analyzer{
 		mod:     m,
+		layout:  lay,
 		ctxs:    make(map[*ir.Function]*context),
 		local:   make(map[*ir.Function]localResult),
 		summary: make(map[*ir.Function]Value),
@@ -73,7 +75,7 @@ func (a *analyzer) run() {
 
 		res := analyzeLocal(f, *a.ctxs[f], func(callee *ir.Function) Value {
 			return a.summary[callee]
-		})
+		}, a.layout)
 		a.local[f] = res
 
 		// Propagate call contexts with the final values of this pass.
@@ -109,6 +111,7 @@ func (a *analyzer) run() {
 func (a *analyzer) funcResult(f *ir.Function) *FuncResult {
 	res := a.local[f]
 	ctx := a.ctxs[f]
+	pd := ir.PostDominators(f)
 
 	fr := &FuncResult{
 		Fn:             f,
@@ -127,10 +130,11 @@ func (a *analyzer) funcResult(f *ir.Function) *FuncResult {
 			case in.Op == ir.OpCBr:
 				fr.TotalBranches++
 				cond := operandValue(&in.Args[0], res.vals)
-				if cond.IsVarying() {
+				if a.layout.Varying(cond) {
 					fr.Branches = append(fr.Branches, BranchFinding{
 						Func: f.Name, Block: b.Name,
 						Cond: in.Args[0].Name, Shape: cond, Loc: in.Loc,
+						Region: regionBlocks(f, b, pd),
 					})
 				}
 			case in.Op.IsMemAccess() && in.Space == ir.Global:
@@ -142,18 +146,19 @@ func (a *analyzer) funcResult(f *ir.Function) *FuncResult {
 					Func: f.Name, Block: b.Name,
 					Op: in.Op, Bytes: in.Mem.Size(), Addr: addr, Loc: in.Loc,
 				}
+				stride, ok := a.layout.LaneStride(addr)
 				switch {
-				case addr.Shape == Uniform:
+				case !ok:
+					af.Class = ClassDivergent
+				case stride == 0:
 					af.Class = ClassUniform
-				case addr.Shape == Affine:
-					af.Stride = addr.Stride
-					if abs64(addr.Stride) == int64(af.Bytes) {
+				default:
+					af.Stride = stride
+					if abs64(stride) == int64(af.Bytes) {
 						af.Class = ClassCoalesced
 					} else {
 						af.Class = ClassStrided
 					}
-				default:
-					af.Class = ClassDivergent
 				}
 				fr.Accesses = append(fr.Accesses, af)
 			case in.Op == ir.OpBar:
@@ -166,6 +171,21 @@ func (a *analyzer) funcResult(f *ir.Function) *FuncResult {
 		}
 	}
 	return fr
+}
+
+// regionBlocks lists the blocks inside the influence region of the
+// thread-varying branch terminating b, in block order, with their
+// instruction counts — the static cost basis benefit estimators weigh
+// dynamic divergence observations by.
+func regionBlocks(f *ir.Function, b *ir.Block, pd []int) []RegionBlock {
+	region := influenceRegion(f, b, pd)
+	var out []RegionBlock
+	for _, blk := range f.Blocks {
+		if region[blk.Index] {
+			out = append(out, RegionBlock{Name: blk.Name, Instrs: len(blk.Instrs)})
+		}
+	}
+	return out
 }
 
 func abs64(v int64) int64 {

@@ -6,6 +6,7 @@ import (
 
 	"cudaadvisor/internal/apps"
 	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/findings"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/ir"
@@ -27,20 +28,27 @@ func parseTestModule(t *testing.T, src string) *ir.Module {
 
 // TestCrossValidateBranchDivergence runs every benchmark application
 // under the dynamic profiler and checks the static analyzer against the
-// observed per-block divergence. The static analysis is one-sided: it
-// may flag blocks that never diverge on this input (false positives are
-// reported in the table), but a block the profiler saw execute with a
-// partial warp must always be statically flagged — zero false
-// negatives.
+// observed per-block divergence, through the unified findings model.
+// The static analysis is one-sided: it may flag blocks that never
+// diverge on this input (false positives are reported in the table),
+// but a block the profiler saw execute with a partial warp must always
+// be statically flagged — zero false negatives. The layout-aware
+// analysis (each app's declared block dims) must preserve that
+// soundness while pruning broadcast-only shapes.
+//
+// On top of the block-level agreement, the joined findings are checked
+// directly: on these inputs every static finding must end up with
+// observed dynamic evidence — nothing the analyzer flags is dead code.
 func TestCrossValidateBranchDivergence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all benchmark applications")
 	}
+	cfg := gpu.KeplerK40c()
 	var rows []report.AgreementRow
 	for _, app := range apps.InTableOrder() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
-			adv := core.New(gpu.KeplerK40c(), instrument.Options{Blocks: true})
+			adv := core.New(cfg, instrument.MemoryAndBlocks())
 			prog, err := app.Instrumented(adv.Opts)
 			if err != nil {
 				t.Fatalf("instrument: %v", err)
@@ -54,42 +62,31 @@ func TestCrossValidateBranchDivergence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("module: %v", err)
 			}
-			res, err := staticadvisor.Analyze(m)
+			res, err := staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
 			if err != nil {
 				t.Fatalf("analyze: %v", err)
 			}
 
-			row := report.AgreementRow{App: app.Name}
-			for _, b := range dyn.Blocks() {
-				fr := res.Func(b.Block.Func)
-				if fr == nil {
-					t.Fatalf("dynamic block in unknown function @%s", b.Block.Func)
-				}
-				blk := fr.Fn.Block(b.Block.Block)
-				if blk == nil {
-					t.Fatalf("dynamic block @%s/%s not in static module", b.Block.Func, b.Block.Block)
-				}
-				flagged := fr.Divergent[blk.Index]
-				diverged := b.Divergent > 0
-				row.Blocks++
-				if flagged {
-					row.StaticFlagged++
-				}
-				if diverged {
-					row.DynDivergent++
-				}
-				switch {
-				case flagged && diverged:
-					row.Both++
-				case flagged:
-					row.StaticOnly++
-				case diverged:
-					row.DynOnly++
-					t.Errorf("false negative: @%s block %s diverged in %d of %d executions but is not statically flagged (at %s)",
-						b.Block.Func, b.Block.Block, b.Divergent, b.Execs, b.Loc)
+			ag, err := findings.BlockAgreement(res, dyn)
+			if err != nil {
+				t.Fatalf("agreement: %v", err)
+			}
+			for _, fn := range ag.FalseNegatives {
+				t.Errorf("false negative: @%s block %s diverged in %d of %d executions but is not statically flagged (at %s)",
+					fn.Func, fn.Block, fn.Divergent, fn.Execs, fn.Loc)
+			}
+			rows = append(rows, report.RowFromAgreement(app.Name, ag))
+
+			// The joined view: every finding must carry corroborating
+			// observations from the same run.
+			fs := findings.FromStatic(res, cfg.L1LineSize)
+			findings.Join(fs, findings.CollectProfile(adv.Profiler, cfg.L1LineSize), cfg)
+			for _, f := range fs {
+				if f.Dynamic == nil || !f.Dynamic.Observed {
+					t.Errorf("finding %s at %s block %s was never observed dynamically",
+						f.Kind, f.Site, f.Site.Block)
 				}
 			}
-			rows = append(rows, row)
 		})
 	}
 
@@ -100,6 +97,69 @@ func TestCrossValidateBranchDivergence(t *testing.T) {
 		if r.DynOnly != 0 {
 			t.Errorf("%s: %d dynamically divergent blocks missed by the static analyzer", r.App, r.DynOnly)
 		}
+	}
+}
+
+// TestCrossValidateUniformBroadcast checks the layout-tightened access
+// classification against measurement: in syrk and syr2k (32×8 blocks),
+// loads indexed only by tid.y are statically classified uniform —
+// tid.y is constant across a warp's 32 lanes — and the profiler must
+// agree, measuring exactly one line per warp at those sites.
+func TestCrossValidateUniformBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmark applications")
+	}
+	cfg := gpu.KeplerK40c()
+	for _, name := range []string{"syrk", "syr2k"} {
+		t.Run(name, func(t *testing.T) {
+			app := apps.ByName(name)
+			if app == nil {
+				t.Fatalf("app %s not registered", name)
+			}
+			adv := core.New(cfg, instrument.MemoryAndBlocks())
+			prog, err := app.Instrumented(adv.Opts)
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			if err := app.Run(adv.Context(), prog, 1); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			m, err := app.Module()
+			if err != nil {
+				t.Fatalf("module: %v", err)
+			}
+			res, err := staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			fs := findings.FromStatic(res, cfg.L1LineSize)
+			findings.Join(fs, findings.CollectProfile(adv.Profiler, cfg.L1LineSize), cfg)
+
+			uniform := 0
+			for _, f := range fs {
+				if f.Kind != findings.KindAccess || f.Static.Class != "uniform" {
+					continue
+				}
+				uniform++
+				if f.Static.PredictedLines != 1 {
+					t.Errorf("%s: uniform access predicts %d lines, want 1", f.Site, f.Static.PredictedLines)
+				}
+				if f.Dynamic == nil || !f.Dynamic.Observed {
+					t.Errorf("%s: uniform access never observed", f.Site)
+					continue
+				}
+				if f.Dynamic.MeasuredLines != 1.0 {
+					t.Errorf("%s: uniform access measured %.2f lines/warp, want exactly 1.00",
+						f.Site, f.Dynamic.MeasuredLines)
+				}
+				if f.Verdict != findings.VerdictRefuted && f.Verdict != findings.VerdictCorroborated {
+					t.Errorf("%s: uniform access verdict = %s", f.Site, f.Verdict)
+				}
+			}
+			if uniform == 0 {
+				t.Errorf("%s: no ty-broadcast load classified uniform under the 32×8 layout", name)
+			}
+		})
 	}
 }
 
@@ -124,7 +184,8 @@ high:
 func TestCrossValidateDivergentBarrier(t *testing.T) {
 	m := parseTestModule(t, divBarrierSrc)
 
-	// Static side: the lint flags the guarded barrier.
+	// Static side: the lint flags the guarded barrier, and the unified
+	// model carries it as a ranked finding.
 	res, err := staticadvisor.Analyze(m)
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
@@ -132,6 +193,16 @@ func TestCrossValidateDivergentBarrier(t *testing.T) {
 	fr := res.Func("bad")
 	if len(fr.Barriers) != 1 || fr.Barriers[0].Block != "low" {
 		t.Fatalf("static barriers = %+v, want the bar in block low", fr.Barriers)
+	}
+	var barrier *findings.Finding
+	for _, f := range findings.FromStatic(res, staticadvisor.KeplerLineSize) {
+		if f.Kind == findings.KindBarrier {
+			f := f
+			barrier = &f
+		}
+	}
+	if barrier == nil || barrier.Site.Block != "low" || barrier.Verdict != findings.VerdictStaticOnly {
+		t.Fatalf("findings barrier = %+v, want a static-only barrier in block low", barrier)
 	}
 
 	// Dynamic side: launching the same kernel faults.

@@ -11,12 +11,17 @@
 //	Bottom < {Uniform, Affine(stride)} < Varying
 //
 // Uniform means every active lane of a warp holds the same value;
-// Affine(s) means the value is a warp-uniform base plus s*tid.x, the
-// shape unit-stride address arithmetic produces; Varying is any other
-// per-lane value. Thread-index sources seed the lattice (tid.x is
-// Affine(1); tid.y/tid.z are conservatively Varying because the lane
-// order within a warp interleaves them; ctaid/ntid/nctaid are Uniform)
-// and values propagate through registers, loads, device-function calls,
+// Affine means the value is a warp-uniform base plus a constant stride
+// per tid.x/tid.y/tid.z component, the shape structured address
+// arithmetic produces; Varying is any other per-lane value.
+// Thread-index sources seed the lattice (tid.x is Affine with x-stride
+// 1, tid.y/tid.z with unit y/z strides; ctaid/ntid/nctaid are Uniform).
+// Whether a stride triple varies WITHIN a warp depends on the launch
+// geometry: AnalyzeLayout resolves the triples against the CTA block
+// dimensions (Layout.LaneStride), so e.g. tid.y is recognized as
+// warp-uniform when ntid.x is a multiple of the warp size, while the
+// layout-free Analyze stays conservative.
+// Values propagate through registers, loads, device-function calls,
 // and — via the influence regions of thread-varying branches computed
 // with ir.PostDominators — through control dependence.
 //
@@ -34,18 +39,33 @@ import (
 )
 
 // Analyze runs the interprocedural uniformity analysis over a module
-// and derives the three checkers' findings for every function. The
-// module is finalized if it is not already.
+// with no launch-layout hint: tid.y/tid.z dependence is conservatively
+// intra-warp varying. See AnalyzeLayout.
+func Analyze(m *ir.Module) (*ModuleResult, error) {
+	return AnalyzeLayout(m, Layout{})
+}
+
+// AnalyzeLayout runs the interprocedural uniformity analysis over a
+// module and derives the three checkers' findings for every function.
+// The module is finalized if it is not already.
+//
+// The layout is the CTA block-dimension hint every kernel of the module
+// is launched with; it lets the analysis resolve tid.y/tid.z strides to
+// per-lane behaviour (e.g. tid.y is warp-uniform when ntid.x is a
+// multiple of the warp size) instead of treating any 2D/3D indexing as
+// divergent. The zero Layout keeps the conservative treatment, and a
+// hint that does not match the actual launches voids the one-sided
+// soundness guarantee.
 //
 // Kernels are analyzed with uniform parameters (launch arguments are
 // warp-invariant); device functions are analyzed in the join of the
 // contexts they are called from. Device functions never called from the
 // module are analyzed standalone, as if called uniformly.
-func Analyze(m *ir.Module) (*ModuleResult, error) {
+func AnalyzeLayout(m *ir.Module, lay Layout) (*ModuleResult, error) {
 	if err := m.Finalize(); err != nil {
 		return nil, err
 	}
-	a := newAnalyzer(m)
+	a := newAnalyzer(m, lay)
 
 	// Seed every kernel: parameters are uniform, entry is convergent.
 	for _, f := range m.Funcs {
@@ -64,7 +84,7 @@ func Analyze(m *ir.Module) (*ModuleResult, error) {
 		}
 	}
 
-	res := &ModuleResult{Module: m, byName: make(map[string]*FuncResult)}
+	res := &ModuleResult{Module: m, Layout: lay, byName: make(map[string]*FuncResult)}
 	for _, f := range m.Funcs {
 		fr := a.funcResult(f)
 		res.Funcs = append(res.Funcs, fr)
@@ -76,6 +96,7 @@ func Analyze(m *ir.Module) (*ModuleResult, error) {
 // ModuleResult holds the per-function analysis results in module order.
 type ModuleResult struct {
 	Module *ir.Module
+	Layout Layout // the launch-layout hint the analysis ran under
 	Funcs  []*FuncResult
 
 	byName map[string]*FuncResult
@@ -148,6 +169,18 @@ type BranchFinding struct {
 	Cond  string // condition register name
 	Shape Value  // abstract condition value (Affine or Varying)
 	Loc   ir.Loc
+
+	// Region lists the blocks inside the branch's influence region —
+	// the blocks that may execute with a partial warp because of this
+	// branch — with their instruction counts, the cost basis benefit
+	// estimation weighs dynamic divergence by.
+	Region []RegionBlock
+}
+
+// RegionBlock is one block of a branch's influence region.
+type RegionBlock struct {
+	Name   string
+	Instrs int
 }
 
 // AccessClass classifies a global-memory address expression by the
@@ -192,7 +225,7 @@ type AccessFinding struct {
 	Bytes  int   // access width
 	Addr   Value // abstract address
 	Class  AccessClass
-	Stride int64 // byte stride per tid.x step (Affine addresses)
+	Stride int64 // byte stride per lane step (Affine addresses under the layout)
 	Loc    ir.Loc
 }
 

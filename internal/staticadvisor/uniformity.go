@@ -17,7 +17,8 @@ const (
 	Bottom Shape = iota
 	// Uniform: every active lane holds the same value.
 	Uniform
-	// Affine: base + Stride*tid.x with a warp-uniform base.
+	// Affine: base + Stride*tid.x + StrideY*tid.y + StrideZ*tid.z with a
+	// warp-uniform base.
 	Affine
 	// Varying: lanes may hold arbitrary distinct values.
 	Varying
@@ -37,33 +38,48 @@ func (s Shape) String() string {
 	return "?"
 }
 
-// Value is an abstract value: a shape plus the tid.x stride for Affine.
+// Value is an abstract value: a shape plus the per-thread-index strides
+// for Affine. The strides describe the value as an exact function of the
+// thread's (tid.x, tid.y, tid.z) components; whether that function
+// varies between the lanes of one warp depends on the launch layout and
+// is resolved by Layout.LaneStride.
 type Value struct {
-	Shape  Shape
-	Stride int64 // meaningful only when Shape == Affine
+	Shape   Shape
+	Stride  int64 // tid.x stride, meaningful only when Shape == Affine
+	StrideY int64 // tid.y stride
+	StrideZ int64 // tid.z stride
 }
 
 func (v Value) String() string {
 	if v.Shape == Affine {
-		return fmt.Sprintf("affine(stride %d)", v.Stride)
+		if v.StrideY == 0 && v.StrideZ == 0 {
+			return fmt.Sprintf("affine(stride %d)", v.Stride)
+		}
+		return fmt.Sprintf("affine(strides %d,%d,%d)", v.Stride, v.StrideY, v.StrideZ)
 	}
 	return v.Shape.String()
 }
 
-// IsVarying reports whether the value can differ between lanes of a
-// warp — the property that makes a branch condition divergent.
+// IsVarying reports whether the value may differ between lanes of a
+// warp under an UNKNOWN launch layout — the conservative reading where
+// any thread-index dependence is potentially intra-warp. Layout-aware
+// callers use Layout.Varying instead.
 func (v Value) IsVarying() bool {
-	return v.Shape == Affine && v.Stride != 0 || v.Shape == Varying
+	if v.Shape == Affine {
+		return v.Stride != 0 || v.StrideY != 0 || v.StrideZ != 0
+	}
+	return v.Shape == Varying
 }
 
-func uniform() Value          { return Value{Shape: Uniform} }
-func affine(s int64) Value    { return Value{Shape: Affine, Stride: s} }
-func varying() Value          { return Value{Shape: Varying} }
-func normAffine(s int64) Value {
-	if s == 0 {
+func uniform() Value       { return Value{Shape: Uniform} }
+func affine(s int64) Value { return Value{Shape: Affine, Stride: s} }
+func varying() Value       { return Value{Shape: Varying} }
+
+func normAffine3(sx, sy, sz int64) Value {
+	if sx == 0 && sy == 0 && sz == 0 {
 		return uniform()
 	}
-	return affine(s)
+	return Value{Shape: Affine, Stride: sx, StrideY: sy, StrideZ: sz}
 }
 
 // join is the lattice least upper bound.
@@ -74,9 +90,115 @@ func join(a, b Value) Value {
 	if a.Shape == Bottom {
 		return b
 	}
-	// Distinct non-bottom values: only identical Affine strides (caught
-	// by a == b) stay below Varying.
+	// Distinct non-bottom values: only identical Affine stride triples
+	// (caught by a == b) stay below Varying.
 	return varying()
+}
+
+// Layout is the launch-geometry hint the analysis resolves thread-index
+// strides against: the CTA block dimensions (ntid.x/y/z) every kernel of
+// the module is launched with. The zero value means the layout is
+// unknown, in which case any tid.y/tid.z dependence is conservatively
+// treated as intra-warp varying (lane order interleaves y and z when
+// ntid.x is not a multiple of the warp size).
+type Layout struct {
+	Block [3]int
+}
+
+// Known reports whether a layout hint was provided.
+func (l Layout) Known() bool { return l.Block[0] > 0 }
+
+// warpSize mirrors gpu.WarpSize without importing the simulator.
+const warpSize = 32
+
+// maxLayoutThreads bounds the lane-stride evaluation; CTAs beyond the
+// hardware limit fall back to the unknown-layout treatment.
+const maxLayoutThreads = 4096
+
+// LaneStride resolves an abstract value to its per-lane stride within a
+// warp: ok means every warp of the CTA sees the value change by exactly
+// stride from one live lane to the next (stride 0 = warp-uniform). The
+// resolution evaluates the value's exact thread-index decomposition over
+// every warp of the block, so it is sound for any geometry — including
+// warps that span tid.y rows or wrap tid.x.
+func (l Layout) LaneStride(v Value) (stride int64, ok bool) {
+	switch v.Shape {
+	case Uniform:
+		return 0, true
+	case Affine:
+	default:
+		return 0, false
+	}
+	if !l.Known() {
+		// No layout: only pure-tid.x affine values have a defined lane
+		// stride (lanes hold consecutive tid.x in 1D launches).
+		if v.StrideY == 0 && v.StrideZ == 0 {
+			return v.Stride, true
+		}
+		return 0, false
+	}
+	bx, by, bz := l.Block[0], l.Block[1], l.Block[2]
+	if by <= 0 {
+		by = 1
+	}
+	if bz <= 0 {
+		bz = 1
+	}
+	threads := bx * by * bz
+	if threads <= 0 || threads > maxLayoutThreads {
+		return 0, false
+	}
+	at := func(t int) int64 {
+		dx := t % bx
+		dy := (t / bx) % by
+		dz := t / (bx * by)
+		return v.Stride*int64(dx) + v.StrideY*int64(dy) + v.StrideZ*int64(dz)
+	}
+	first := true
+	for base := 0; base < threads; base += warpSize {
+		n := threads - base
+		if n > warpSize {
+			n = warpSize
+		}
+		var s int64
+		if n > 1 {
+			s = at(base+1) - at(base)
+		}
+		for i := 0; i < n; i++ {
+			if at(base+i) != at(base)+int64(i)*s {
+				return 0, false
+			}
+		}
+		if n > 1 {
+			if first {
+				stride, first = s, false
+			} else if s != stride {
+				return 0, false
+			}
+		}
+	}
+	return stride, true
+}
+
+// Varying reports whether the value may differ between lanes of a warp
+// under this layout.
+func (l Layout) Varying(v Value) bool {
+	if v.Shape == Varying {
+		return true
+	}
+	if v.Shape != Affine {
+		return false
+	}
+	s, ok := l.LaneStride(v)
+	return !ok || s != 0
+}
+
+// laneUniform reports whether every lane of every warp holds the same
+// value: the condition under which an affine value may flow through a
+// non-affine operation as if it were Uniform.
+func (l Layout) laneUniform(v Value) bool {
+	s, ok := l.LaneStride(v)
+	return ok && s == 0
 }
 
 // context is the calling context a function is analyzed in: abstract
@@ -141,7 +263,7 @@ type retResolver func(callee *ir.Function) Value
 // Regions depend on which branches are varying, which depends on the
 // values, so the whole loop iterates to a fixed point (the lattice is
 // finite, taints only accumulate, and values only climb).
-func analyzeLocal(f *ir.Function, ctx context, resolve retResolver) localResult {
+func analyzeLocal(f *ir.Function, ctx context, resolve retResolver, lay Layout) localResult {
 	vals := make([]Value, f.NumRegs)
 	for i := range f.Params {
 		vals[i] = join(vals[i], ctx.args[i])
@@ -159,7 +281,7 @@ func analyzeLocal(f *ir.Function, ctx context, resolve retResolver) localResult 
 					if in.DstReg < 0 {
 						continue
 					}
-					v := transfer(in, vals, resolve)
+					v := transfer(in, vals, resolve, lay)
 					if tainted[in.DstReg] {
 						v = varying()
 					}
@@ -180,7 +302,7 @@ func analyzeLocal(f *ir.Function, ctx context, resolve retResolver) localResult 
 		newTaint := false
 		for _, b := range f.Blocks {
 			t := b.Terminator()
-			if t == nil || t.Op != ir.OpCBr || !operandValue(&t.Args[0], vals).IsVarying() {
+			if t == nil || t.Op != ir.OpCBr || !lay.Varying(operandValue(&t.Args[0], vals)) {
 				continue
 			}
 			region := influenceRegion(f, b, pd)
@@ -272,7 +394,7 @@ func constOf(o *ir.Operand) (int64, bool) {
 
 // transfer computes the abstract result of one value-producing
 // instruction.
-func transfer(in *ir.Instr, vals []Value, resolve retResolver) Value {
+func transfer(in *ir.Instr, vals []Value, resolve retResolver, lay Layout) Value {
 	arg := func(i int) Value { return operandValue(&in.Args[i], vals) }
 
 	switch {
@@ -281,47 +403,51 @@ func transfer(in *ir.Instr, vals []Value, resolve retResolver) Value {
 		if a.Shape == Bottom || b.Shape == Bottom {
 			return Value{}
 		}
-		sa, sb := strideOf(a), strideOf(b)
+		sa, sb := stridesOf(a), stridesOf(b)
 		if sa == nil || sb == nil {
 			return varying()
 		}
 		if in.Op == ir.OpSub {
-			return normAffine(*sa - *sb)
+			return normAffine3(sa[0]-sb[0], sa[1]-sb[1], sa[2]-sb[2])
 		}
-		return normAffine(*sa + *sb)
+		return normAffine3(sa[0]+sb[0], sa[1]+sb[1], sa[2]+sb[2])
 	case in.Op == ir.OpMul:
-		return mulValue(arg(0), arg(1), &in.Args[0], &in.Args[1])
+		return mulValue(arg(0), arg(1), &in.Args[0], &in.Args[1], lay)
 	case in.Op == ir.OpShl:
 		a, b := arg(0), arg(1)
 		if a.Shape == Bottom || b.Shape == Bottom {
 			return Value{}
 		}
 		if c, ok := constOf(&in.Args[1]); ok && a.Shape == Affine && c >= 0 && c < 32 {
-			return normAffine(a.Stride << uint(c))
+			return normAffine3(a.Stride<<uint(c), a.StrideY<<uint(c), a.StrideZ<<uint(c))
 		}
-		return uniformOrVarying(a, b)
+		return uniformOrVarying(lay, a, b)
 	case in.Op.IsIntBinary() || in.Op.IsFloatBinary():
-		return uniformOrVarying(arg(0), arg(1))
+		return uniformOrVarying(lay, arg(0), arg(1))
 	case in.Op.IsFloatUnary():
-		return uniformOrVarying(arg(0))
+		return uniformOrVarying(lay, arg(0))
 	case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
 		a, b := arg(0), arg(1)
 		if a.Shape == Bottom || b.Shape == Bottom {
 			return Value{}
 		}
-		// Equal-stride affine operands have a warp-uniform difference,
-		// so their comparison is uniform (e.g. tid-derived loop bounds
-		// compared against tid-derived counters).
-		if a.Shape == Affine && b.Shape == Affine && a.Stride == b.Stride {
-			return uniform()
+		// Operands whose difference is warp-uniform compare identically
+		// on every lane (e.g. tid-derived loop bounds compared against
+		// tid-derived counters). The difference of two affine values is
+		// affine in the stride deltas; resolve it against the layout.
+		if sa, sb := stridesOf(a), stridesOf(b); sa != nil && sb != nil {
+			diff := normAffine3(sa[0]-sb[0], sa[1]-sb[1], sa[2]-sb[2])
+			if lay.laneUniform(diff) {
+				return uniform()
+			}
 		}
-		return uniformOrVarying(a, b)
+		return uniformOrVarying(lay, a, b)
 	case in.Op == ir.OpSelect:
 		p, a, b := arg(0), arg(1), arg(2)
 		if p.Shape == Bottom {
 			return Value{}
 		}
-		if p.IsVarying() {
+		if lay.Varying(p) {
 			return varying()
 		}
 		return join(a, b)
@@ -330,23 +456,23 @@ func transfer(in *ir.Instr, vals []Value, resolve retResolver) Value {
 	case in.Op == ir.OpSext || in.Op == ir.OpTrunc:
 		return arg(0) // stride-preserving width changes
 	case in.Op == ir.OpSitofp || in.Op == ir.OpFptosi || in.Op == ir.OpZext:
-		return uniformOrVarying(arg(0))
+		return uniformOrVarying(lay, arg(0))
 	case in.Op == ir.OpGEP:
 		base, idx := arg(0), arg(1)
 		if base.Shape == Bottom || idx.Shape == Bottom {
 			return Value{}
 		}
-		sb, si := strideOf(base), strideOf(idx)
+		sb, si := stridesOf(base), stridesOf(idx)
 		if sb == nil || si == nil {
 			return varying()
 		}
-		return normAffine(*sb + *si*in.Scale)
+		return normAffine3(sb[0]+si[0]*in.Scale, sb[1]+si[1]*in.Scale, sb[2]+si[2]*in.Scale)
 	case in.Op == ir.OpLd:
 		a := arg(0)
 		if a.Shape == Bottom {
 			return Value{}
 		}
-		if a.Shape == Uniform {
+		if a.Shape == Uniform || lay.laneUniform(a) {
 			// All active lanes load the same address in lockstep and
 			// observe the same value: a warp-level broadcast.
 			return uniform()
@@ -360,10 +486,14 @@ func transfer(in *ir.Instr, vals []Value, resolve retResolver) Value {
 		switch in.SReg {
 		case ir.SRegTidX:
 			return affine(1)
-		case ir.SRegTidY, ir.SRegTidZ:
-			// Lane order interleaves y/z when ntid.x < 32; treat as
-			// unstructured thread-varying.
-			return varying()
+		case ir.SRegTidY:
+			// Exact index decomposition; whether tid.y varies within a
+			// warp is resolved against the launch layout at every
+			// consumption point (warp-uniform when ntid.x is a multiple
+			// of the warp size, interleaved otherwise).
+			return Value{Shape: Affine, StrideY: 1}
+		case ir.SRegTidZ:
+			return Value{Shape: Affine, StrideZ: 1}
 		default:
 			return uniform() // ctaid/ntid/nctaid are warp-invariant
 		}
@@ -378,45 +508,48 @@ func transfer(in *ir.Instr, vals []Value, resolve retResolver) Value {
 	return varying()
 }
 
-// strideOf views a value as an affine function of tid.x: Uniform has
-// stride 0, Affine its stride, Varying none (nil).
-func strideOf(v Value) *int64 {
+// stridesOf views a value as an affine function of the thread index:
+// Uniform has all-zero strides, Affine its stride triple, Varying none
+// (nil).
+func stridesOf(v Value) *[3]int64 {
 	switch v.Shape {
 	case Uniform:
-		z := int64(0)
-		return &z
+		return &[3]int64{}
 	case Affine:
-		s := v.Stride
-		return &s
+		return &[3]int64{v.Stride, v.StrideY, v.StrideZ}
 	}
 	return nil
 }
 
 // mulValue handles multiplication: affine values scale by constant
 // factors; anything else collapses to uniform-or-varying.
-func mulValue(a, b Value, oa, ob *ir.Operand) Value {
+func mulValue(a, b Value, oa, ob *ir.Operand, lay Layout) Value {
 	if a.Shape == Bottom || b.Shape == Bottom {
 		return Value{}
 	}
 	if c, ok := constOf(ob); ok && a.Shape == Affine {
-		return normAffine(a.Stride * c)
+		return normAffine3(a.Stride*c, a.StrideY*c, a.StrideZ*c)
 	}
 	if c, ok := constOf(oa); ok && b.Shape == Affine {
-		return normAffine(b.Stride * c)
+		return normAffine3(b.Stride*c, b.StrideY*c, b.StrideZ*c)
 	}
-	return uniformOrVarying(a, b)
+	return uniformOrVarying(lay, a, b)
 }
 
 // uniformOrVarying joins operands through an operation with no affine
 // transfer: uniform in, uniform out; anything thread-dependent in,
-// varying out.
-func uniformOrVarying(vs ...Value) Value {
+// varying out. Affine operands that the layout resolves to a zero lane
+// stride (e.g. tid.y when ntid.x is a multiple of the warp size) count
+// as uniform — the operation's result is the same on every lane.
+func uniformOrVarying(lay Layout, vs ...Value) Value {
 	out := Value{}
 	for _, v := range vs {
-		switch v.Shape {
-		case Bottom:
+		switch {
+		case v.Shape == Bottom:
 			return Value{}
-		case Uniform:
+		case v.Shape == Uniform:
+			out = join(out, uniform())
+		case v.Shape == Affine && lay.laneUniform(v):
 			out = join(out, uniform())
 		default:
 			return varying()
