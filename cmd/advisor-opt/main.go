@@ -13,11 +13,13 @@
 //	verify       type-check the module (default)
 //	constfold    fold constant expressions
 //	dce          remove dead pure instructions
-//	lint         all three static-advisor checkers
+//	lint         all the static-advisor checkers
 //	lint-branch  report thread-varying conditional branches
 //	lint-mem     classify global-memory accesses (uniform/coalesced/
 //	             strided/divergent)
 //	lint-barrier report barriers under divergent control flow
+//	lint-smem    predict shared-memory bank-conflict degrees and
+//	             intra-CTA same-interval races
 //
 // The lint passes are analyses: they write findings to stdout and leave
 // the module unchanged. -mem/-blocks/-arith select the optional
@@ -50,6 +52,7 @@ func passRegistry(out io.Writer) map[string]func() pass.Pass {
 		"lint-branch":  func() pass.Pass { return pass.LintBranches(out) },
 		"lint-mem":     func() pass.Pass { return pass.LintMemory(out) },
 		"lint-barrier": func() pass.Pass { return pass.LintBarriers(out) },
+		"lint-smem":    func() pass.Pass { return pass.LintSharedMemory(out) },
 	}
 }
 
@@ -70,7 +73,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("advisor-opt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	passList := fs.String("passes", "verify",
-		"comma-separated passes: verify, constfold, dce, lint, lint-branch, lint-mem, lint-barrier")
+		"comma-separated passes: verify, constfold, dce, lint, lint-branch, lint-mem, lint-barrier, lint-smem")
 	mem := fs.Bool("mem", false, "instrument memory operations")
 	blocks := fs.Bool("blocks", false, "instrument basic-block entries")
 	arith := fs.Bool("arith", false, "instrument arithmetic operations")

@@ -41,6 +41,19 @@ func TestRunGolden(t *testing.T) {
 	checkGolden(t, "sample.golden", stdout.Bytes())
 }
 
+// The shared-memory checkers alone over the shared-memory fixture: the
+// unpadded column walk is called out as a 16-way conflict, the padded
+// row read as conflict-free, and the barrier-less exchange as a race.
+func TestLintSmemGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "verify,lint-smem", "testdata/smem.mir"},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	checkGolden(t, "smem.golden", stdout.Bytes())
+}
+
 // Parse→print→parse→print must be a fixed point.
 func TestPrintRoundTrip(t *testing.T) {
 	var out1, errBuf bytes.Buffer
@@ -63,7 +76,7 @@ func TestUnknownPassListsValid(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
-	want := `unknown pass "bogus" (valid: constfold, dce, lint, lint-barrier, lint-branch, lint-mem, verify)`
+	want := `unknown pass "bogus" (valid: constfold, dce, lint, lint-barrier, lint-branch, lint-mem, lint-smem, verify)`
 	if !strings.Contains(stderr.String(), want) {
 		t.Errorf("stderr = %q, want it to contain %q", stderr.String(), want)
 	}

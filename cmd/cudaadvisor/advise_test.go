@@ -26,7 +26,7 @@ func TestAdviseJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if rep.Schema != "advisor-report/v1" || rep.App != "bfs" || rep.Arch != "kepler-k40c" {
+	if rep.Schema != "advisor-report/v2" || rep.App != "bfs" || rep.Arch != "kepler-k40c" {
 		t.Errorf("report header = %q/%q/%q", rep.Schema, rep.App, rep.Arch)
 	}
 	if len(rep.Findings) == 0 {
@@ -113,6 +113,38 @@ func TestAdviseStaticOnlyMir(t *testing.T) {
 	}
 }
 
+// TestAdviseSmemJSONGolden pins the static-only advise JSON for the
+// shared-memory fixture (bank-conflict + shared-race findings) and the
+// decode→re-encode byte identity of that report.
+func TestAdviseSmemJSONGolden(t *testing.T) {
+	stdout, _ := runOK(t, "advise", "-format=json", "testdata/smem.mir")
+	checkGolden(t, "advise_smem.golden", []byte(stdout))
+
+	rep, err := findings.Decode([]byte(stdout))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var haveBank, haveRace bool
+	for _, f := range rep.Findings {
+		switch f.Kind {
+		case findings.KindBankConflict:
+			haveBank = true
+		case findings.KindSharedRace:
+			haveRace = true
+		}
+	}
+	if !haveBank || !haveRace {
+		t.Errorf("smem fixture report: bank-conflict=%v shared-race=%v, want both", haveBank, haveRace)
+	}
+	re, err := findings.Encode(rep)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, []byte(stdout)) {
+		t.Errorf("decode→re-encode is not byte-identical for the smem report")
+	}
+}
+
 // TestLintJSON: lint -format=json reuses the findings schema, emitting
 // the static findings as a decodable static-only report.
 func TestLintJSON(t *testing.T) {
@@ -146,12 +178,13 @@ func TestCheckReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, _ := runOK(t, "checkreport", good)
-	if !strings.Contains(out, "good.json: ok (advisor-report/v1") {
+	if !strings.Contains(out, "good.json: ok (advisor-report/v2") {
 		t.Errorf("checkreport output = %q", out)
 	}
 
 	for name, content := range map[string]string{
-		"wrongver.json": strings.Replace(stdout, "advisor-report/v1", "advisor-report/v0", 1),
+		// A previous-schema report must be rejected, not silently served.
+		"wrongver.json": strings.Replace(stdout, "advisor-report/v2", "advisor-report/v1", 1),
 		"garbage.json":  "not a report",
 		"unknown.json":  strings.Replace(stdout, `"app"`, `"bogus": 1, "app"`, 1),
 	} {

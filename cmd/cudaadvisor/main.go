@@ -43,11 +43,15 @@
 //	-arch kepler|pascal    architecture (default kepler)
 //	-scale N               input scale factor (default 1)
 //	-mode rd|md|bd         analysis to print (default all three)
+//	-smem                  trace shared-memory accesses, watch for bank
+//	                       conflicts and same-interval races, and print
+//	                       the shared-memory section
 //
 // lint runs the static advisor (no simulation): the uniformity analysis
-// predicts divergent branches, classifies global-memory accesses, and
-// flags barriers under divergent control flow. Its argument is a
-// benchmark name from 'cudaadvisor apps' or a path to a .mir file.
+// predicts divergent branches, classifies global-memory accesses,
+// predicts shared-memory bank conflicts and intra-CTA races, and flags
+// barriers under divergent control flow. Its argument is a benchmark
+// name from 'cudaadvisor apps' or a path to a .mir file.
 package main
 
 import (
@@ -178,7 +182,7 @@ global flags:
 
 commands:
   apps         list the benchmark applications (Table 2)
-  profile      profile one application: cudaadvisor profile <app> [-arch kepler|pascal] [-scale N] [-mode rd|md|bd]
+  profile      profile one application: cudaadvisor profile <app> [-arch kepler|pascal] [-scale N] [-mode rd|md|bd] [-smem]
   lint         static divergence analysis (no simulation): cudaadvisor lint [-format text|json] [-arch kepler|pascal] <app|file.mir>
   advise       ranked static+dynamic optimization report: cudaadvisor advise [-arch kepler|pascal] [-format text|json] [-scale N] <app|file.mir>
                (a .mir file gets a static-only report; apps are profiled and joined)
@@ -346,6 +350,7 @@ func profileCmd(args []string, pool *runner.Pool, stdout, stderr io.Writer) erro
 	arch := fs.String("arch", "kepler", "architecture: kepler or pascal")
 	scale := fs.Int("scale", 1, "input scale factor")
 	mode := fs.String("mode", "all", "analysis: rd, md, bd, or all")
+	smem := fs.Bool("smem", false, "trace shared-memory accesses and enable the bank-conflict/race watch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -366,7 +371,11 @@ func profileCmd(args []string, pool *runner.Pool, stdout, stderr io.Writer) erro
 		return fmt.Errorf("unknown architecture %q", *arch)
 	}
 
-	adv := core.New(cfg, instrument.MemoryAndBlocks())
+	opts := instrument.MemoryAndBlocks()
+	if *smem {
+		opts = instrument.MemorySharedAndBlocks()
+	}
+	adv := core.New(cfg, opts)
 	// A single profiling run has no cell-level fan-out, so the -j budget
 	// goes to intra-launch SM sharding instead (same output either way).
 	adv.Context().Options.Pool = pool
@@ -390,6 +399,10 @@ func profileCmd(args []string, pool *runner.Pool, stdout, stderr io.Writer) erro
 	}
 	if *mode == "bd" || *mode == "all" {
 		adv.WriteBranchDivergenceReport(stdout)
+		fmt.Fprintln(stdout)
+	}
+	if *smem {
+		adv.WriteSharedMemReport(stdout)
 		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintln(stdout, "most memory-divergent sites (code-centric view):")

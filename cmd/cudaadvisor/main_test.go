@@ -41,6 +41,18 @@ func TestLintFixtureGolden(t *testing.T) {
 	checkGolden(t, "fixture.golden", stdout.Bytes())
 }
 
+// The lint subcommand on the shared-memory fixture: a 16-way bank
+// conflict in the transpose kernel and a missing-barrier race in the
+// exchange kernel, both in the shared-memory section of the report.
+func TestLintSmemFixtureGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"lint", "testdata/smem.mir"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	checkGolden(t, "smem_lint.golden", stdout.Bytes())
+}
+
 // The lint subcommand accepts benchmark names; bfs is the paper's most
 // divergence-heavy application.
 func TestLintApp(t *testing.T) {

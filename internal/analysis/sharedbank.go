@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"sort"
+
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/ir"
+	"cudaadvisor/internal/trace"
+)
+
+// SharedBankResult is the shared-memory bank-conflict profile: for every
+// executed warp-level shared-memory instruction, the conflict degree —
+// the maximum number of distinct 4-byte words the active lanes address
+// in one of the 32 banks (1 = conflict-free or broadcast, 32 = fully
+// serialized). It requires a trace recorded with the shared-memory
+// instrumentation category enabled; without it, no shared events exist
+// and the result is empty.
+type SharedBankResult struct {
+	// Dist[n] counts warp instructions of conflict degree n (1..32).
+	Dist  [gpu.NumBanks + 1]int64
+	Total int64
+
+	// Replays accumulates degree-1 per instruction: the extra bank
+	// passes the hardware serializes the access into.
+	Replays int64
+
+	// EventsRecorded/EventsSeen carry the trace's memory-event coverage
+	// (shared events ride the same buffer as global ones).
+	EventsRecorded int64
+	EventsSeen     int64
+
+	sites map[siteKey]*SiteBankConflict
+}
+
+// Partial reports whether the underlying trace dropped events.
+func (r *SharedBankResult) Partial() bool { return r.EventsSeen > r.EventsRecorded }
+
+// SiteBankConflict aggregates bank conflicts per source location, the
+// code-centric view the advisor joins against the static prediction.
+type SiteBankConflict struct {
+	Loc        ir.Loc
+	Ctx        int32 // a representative calling context
+	Count      int64 // warp instructions at this site
+	ReplaySum  int64 // sum of (degree - 1)
+	MaxDegree  int
+	Conflicted int64 // executions with degree > 1
+}
+
+// Degree returns the site's average conflict degree per instruction.
+func (s *SiteBankConflict) Degree() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.ReplaySum+s.Count) / float64(s.Count)
+}
+
+// Degree returns the application's average bank-conflict degree per warp
+// shared-memory instruction.
+func (r *SharedBankResult) Degree() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Replays+r.Total) / float64(r.Total)
+}
+
+// Sites returns the per-source-location aggregates, most conflicted
+// first (ties in deterministic site order).
+func (r *SharedBankResult) Sites() []*SiteBankConflict {
+	out := make([]*SiteBankConflict, 0, len(r.sites))
+	for _, s := range r.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Degree() != out[j].Degree() {
+			return out[i].Degree() > out[j].Degree()
+		}
+		if out[i].Loc.Line != out[j].Loc.Line {
+			return out[i].Loc.Line < out[j].Loc.Line
+		}
+		return out[i].Loc.File < out[j].Loc.File
+	})
+	return out
+}
+
+// AddSite inserts (or accumulates into) the per-site aggregate for
+// s.Loc; the merge rule matches Merge's.
+func (r *SharedBankResult) AddSite(s SiteBankConflict) {
+	if r.sites == nil {
+		r.sites = make(map[siteKey]*SiteBankConflict)
+	}
+	k := siteKey{loc: s.Loc}
+	if cur, ok := r.sites[k]; ok {
+		cur.Count += s.Count
+		cur.ReplaySum += s.ReplaySum
+		cur.Conflicted += s.Conflicted
+		if s.MaxDegree > cur.MaxDegree {
+			cur.MaxDegree = s.MaxDegree
+		}
+		return
+	}
+	r.sites[k] = &s
+}
+
+// Merge accumulates other into r.
+func (r *SharedBankResult) Merge(other *SharedBankResult) {
+	for i := range r.Dist {
+		r.Dist[i] += other.Dist[i]
+	}
+	r.Total += other.Total
+	r.Replays += other.Replays
+	r.EventsRecorded += other.EventsRecorded
+	r.EventsSeen += other.EventsSeen
+	for _, s := range other.sites {
+		r.AddSite(*s)
+	}
+}
+
+// SharedBankConflicts computes the bank-conflict distribution of a
+// kernel trace under the 32-bank × 4-byte geometry, using the same
+// per-access degree as the simulator's WatchShared counter
+// (gpu.BankConflictDegree), so trace-derived per-site sums reconcile
+// with the launch-level replay totals.
+func SharedBankConflicts(tr *trace.KernelTrace) *SharedBankResult {
+	res := &SharedBankResult{sites: make(map[siteKey]*SiteBankConflict)}
+	res.EventsRecorded, res.EventsSeen = tr.MemCoverage()
+	for i := range tr.Mem {
+		m := &tr.Mem[i]
+		if m.Space != ir.Shared {
+			continue
+		}
+		n := gpu.BankConflictDegree(m.Mask, &m.Addrs, int(m.Bits)/8)
+		res.Dist[n]++
+		res.Total++
+		res.Replays += int64(n - 1)
+
+		loc := tr.Locs.Loc(m.Loc)
+		k := siteKey{loc: loc}
+		s := res.sites[k]
+		if s == nil {
+			s = &SiteBankConflict{Loc: loc, Ctx: m.Ctx}
+			res.sites[k] = s
+		}
+		s.Count++
+		s.ReplaySum += int64(n - 1)
+		if n > s.MaxDegree {
+			s.MaxDegree = n
+		}
+		if n > 1 {
+			s.Conflicted++
+		}
+	}
+	return res
+}

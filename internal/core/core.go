@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/bypass"
@@ -95,6 +96,76 @@ func (a *Advisor) BranchDivergence() *analysis.BranchDivResult {
 		total.Merge(analysis.BranchDivergence(kp.Trace, kp.Tables))
 	}
 	return total
+}
+
+// SharedBankConflicts aggregates the shared-memory bank-conflict profile
+// over all kernel instances. It is empty unless the session's options
+// enable the shared-memory instrumentation category.
+func (a *Advisor) SharedBankConflicts() *analysis.SharedBankResult {
+	total := &analysis.SharedBankResult{}
+	for _, kp := range a.Profiler.Kernels {
+		total.Merge(analysis.SharedBankConflicts(kp.Trace))
+	}
+	return total
+}
+
+// SharedRaces aggregates the simulator's same-interval last-writer
+// observations over all kernel instances, summed per read site in
+// deterministic site order. Empty unless the shared-memory watch ran.
+func (a *Advisor) SharedRaces() []gpu.SharedRaceSite {
+	byLoc := make(map[ir.Loc]int64)
+	for _, kp := range a.Profiler.Kernels {
+		if kp.Result == nil {
+			continue
+		}
+		for _, rs := range kp.Result.SharedRaces {
+			byLoc[rs.Loc] += rs.Count
+		}
+	}
+	out := make([]gpu.SharedRaceSite, 0, len(byLoc))
+	for loc, n := range byLoc {
+		out = append(out, gpu.SharedRaceSite{Loc: loc, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Loc, out[j].Loc
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return out
+}
+
+// WriteSharedMemReport renders the dynamic shared-memory view: the
+// app-wide bank-conflict degree, the most conflicted sites, and any
+// same-interval races the watch observed.
+func (a *Advisor) WriteSharedMemReport(w io.Writer) {
+	sb := a.SharedBankConflicts()
+	fmt.Fprintf(w, "shared memory: %d warp accesses, average bank-conflict degree %.2f",
+		sb.Total, sb.Degree())
+	if sb.Partial() {
+		fmt.Fprintf(w, " (trace sampled: %d of %d events)", sb.EventsRecorded, sb.EventsSeen)
+	}
+	fmt.Fprintln(w)
+	for _, s := range sb.Sites() {
+		if s.MaxDegree <= 1 {
+			continue
+		}
+		fmt.Fprintf(w, "  %s: %d accesses, degree %.2f (max %d), %d extra bank passes\n",
+			s.Loc, s.Count, s.Degree(), s.MaxDegree, s.ReplaySum)
+	}
+	races := a.SharedRaces()
+	if len(races) == 0 {
+		fmt.Fprintln(w, "  no same-interval races observed")
+		return
+	}
+	for _, rs := range races {
+		fmt.Fprintf(w, "  RACE at %s: %d lane reads hit another thread's same-interval write\n",
+			rs.Loc, rs.Count)
+	}
 }
 
 // PredictBypassWarps evaluates the Eq. (1) model on this session's

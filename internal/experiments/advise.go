@@ -14,11 +14,12 @@ import (
 )
 
 // adviseCell builds the canonical advisor-report bytes for one
-// application on one architecture: profile with memory and block
-// instrumentation, analyze the same module statically under the app's
-// launch-layout hint, join the two per site, rank, and encode.
+// application on one architecture: profile with memory (global and
+// shared), block instrumentation and the shared-memory watch, analyze
+// the same module statically under the app's launch-layout hint, join
+// the two per site, rank, and encode.
 func adviseCell(env Env, ctx context.Context, cell string, app *apps.App, cfg gpu.ArchConfig) ([]byte, error) {
-	p, err := env.profileCell(ctx, cell, app, cfg, instrument.MemoryAndBlocks())
+	p, err := env.profileCell(ctx, cell, app, cfg, instrument.MemorySharedAndBlocks())
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +50,7 @@ func AdviseReport(env Env, app *apps.App, cfg gpu.ArchConfig) ([]byte, error) {
 		if !env.cacheActive() {
 			return adviseCell(env, ctx, cell, app, cfg)
 		}
-		key := profcache.AdviseKey(app, cfg, instrument.MemoryAndBlocks(), env.Scale, env.TraceCap, findings.SchemaVersion)
+		key := profcache.AdviseKey(app, cfg, instrument.MemorySharedAndBlocks(), env.Scale, env.TraceCap, findings.SchemaVersion)
 		return env.Cache.Advise(ctx, key, func(ctx context.Context) ([]byte, error) {
 			return adviseCell(env, ctx, cell, app, cfg)
 		})

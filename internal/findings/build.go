@@ -57,6 +57,41 @@ func FromStatic(res *staticadvisor.ModuleResult, lineSize int) []Finding {
 				Verdict: VerdictStaticOnly,
 			})
 		}
+		for _, sa := range fr.SharedAccesses {
+			if sa.Degree <= 1 {
+				continue // conflict-free or broadcast: nothing to advise
+			}
+			ev := StaticEvidence{
+				Shape:       sa.Addr.String(),
+				AccessOp:    sa.Op.String(),
+				AccessBytes: sa.Bytes,
+				Decl:        declName(sa.Decl),
+				Degree:      sa.Degree,
+				Broadcast:   sa.Broadcast,
+			}
+			if sa.StrideKnown {
+				ev.StrideBytes = sa.Stride
+			}
+			out = append(out, Finding{
+				Kind:    KindBankConflict,
+				Site:    site(fr.Fn.Name, sa.Block, sa.Loc),
+				Static:  ev,
+				Verdict: VerdictStaticOnly,
+			})
+		}
+		for _, rc := range fr.Races {
+			ws := site(fr.Fn.Name, rc.WriteBlock, rc.WriteLoc)
+			out = append(out, Finding{
+				Kind: KindSharedRace,
+				Site: site(fr.Fn.Name, rc.ReadBlock, rc.ReadLoc),
+				Static: StaticEvidence{
+					Shape: "same-interval",
+					Decl:  declName(rc.Decl),
+					Write: &ws,
+				},
+				Verdict: VerdictStaticOnly,
+			})
+		}
 	}
 	for i := range out {
 		out[i].Advice = advice(&out[i])
@@ -66,6 +101,15 @@ func FromStatic(res *staticadvisor.ModuleResult, lineSize int) []Finding {
 
 func site(fn, block string, loc ir.Loc) Site {
 	return Site{File: loc.File, Line: loc.Line, Col: loc.Col, Func: fn, Block: block}
+}
+
+// declName maps the analyzer's decl lattice values ("" unknown, "*"
+// ambiguous) to the report's convention: named or absent.
+func declName(d string) string {
+	if d == "*" {
+		return ""
+	}
+	return d
 }
 
 // PredictLines recomputes the static lines-per-warp prediction of an
@@ -103,10 +147,18 @@ type Profile struct {
 	Blocks map[BlockKey]*analysis.BlockDivergence
 	Reuse  map[ir.Loc]*analysis.SiteReuse
 
-	// MemDiv and BranchDiv are the app-level aggregates the per-site
-	// maps were folded from.
-	MemDiv    *analysis.MemDivResult
-	BranchDiv *analysis.BranchDivResult
+	// SharedMem holds per-site shared-memory bank-conflict aggregates
+	// (populated only when the shared-memory category was instrumented);
+	// SharedRaces holds, per load site, the lane reads the simulator's
+	// last-writer check flagged (populated only under WatchShared).
+	SharedMem   map[ir.Loc]*analysis.SiteBankConflict
+	SharedRaces map[ir.Loc]int64
+
+	// MemDiv, BranchDiv and SharedBank are the app-level aggregates the
+	// per-site maps were folded from.
+	MemDiv     *analysis.MemDivResult
+	BranchDiv  *analysis.BranchDivResult
+	SharedBank *analysis.SharedBankResult
 }
 
 // CollectProfile extracts the per-site dynamic evidence from a profiler
@@ -116,15 +168,24 @@ type Profile struct {
 // evidence.
 func CollectProfile(p *profiler.Profiler, lineSize int) *Profile {
 	prof := &Profile{
-		Mem:       make(map[ir.Loc]*analysis.SiteDivergence),
-		Blocks:    make(map[BlockKey]*analysis.BlockDivergence),
-		Reuse:     make(map[ir.Loc]*analysis.SiteReuse),
-		MemDiv:    &analysis.MemDivResult{LineSize: lineSize},
-		BranchDiv: &analysis.BranchDivResult{},
+		Mem:         make(map[ir.Loc]*analysis.SiteDivergence),
+		Blocks:      make(map[BlockKey]*analysis.BlockDivergence),
+		Reuse:       make(map[ir.Loc]*analysis.SiteReuse),
+		SharedMem:   make(map[ir.Loc]*analysis.SiteBankConflict),
+		SharedRaces: make(map[ir.Loc]int64),
+		MemDiv:      &analysis.MemDivResult{LineSize: lineSize},
+		BranchDiv:   &analysis.BranchDivResult{},
+		SharedBank:  &analysis.SharedBankResult{},
 	}
 	for _, kp := range p.Kernels {
 		md := analysis.MemDivergence(kp.Trace, lineSize)
 		prof.MemDiv.Merge(md)
+		prof.SharedBank.Merge(analysis.SharedBankConflicts(kp.Trace))
+		if kp.Result != nil {
+			for _, rs := range kp.Result.SharedRaces {
+				prof.SharedRaces[rs.Loc] += rs.Count
+			}
+		}
 		bd := analysis.BranchDivergence(kp.Trace, kp.Tables)
 		prof.BranchDiv.Merge(bd)
 		for _, b := range bd.Blocks() {
@@ -146,6 +207,9 @@ func CollectProfile(p *profiler.Profiler, lineSize int) *Profile {
 	for _, s := range prof.MemDiv.Sites() {
 		prof.Mem[s.Loc] = s
 	}
+	for _, s := range prof.SharedBank.Sites() {
+		prof.SharedMem[s.Loc] = s
+	}
 	return prof
 }
 
@@ -165,8 +229,12 @@ func CollectProfile(p *profiler.Profiler, lineSize int) *Profile {
 //     influence region re-issues that block for the complement mask —
 //     divergent execs × block instructions × IssueCost, summed over
 //     the region.
-//   - barrier: no cycle model (the hazard is a deadlock, not a
-//     slowdown); ranked by severity instead.
+//   - bank conflict: every extra bank pass (conflict degree − 1)
+//     serializes one more shared-memory cycle through each of the read
+//     and write ports — measured replays × bankReplayCost, summed over
+//     the site's executions (exact via the site's ReplaySum).
+//   - barrier, shared race: no cycle model (the hazard is a deadlock or
+//     wrong answer, not a slowdown); ranked by severity instead.
 func Join(fs []Finding, prof *Profile, cfg gpu.ArchConfig) []Finding {
 	for i := range fs {
 		f := &fs[i]
@@ -177,11 +245,19 @@ func Join(fs []Finding, prof *Profile, cfg gpu.ArchConfig) []Finding {
 			joinBranch(f, prof, cfg)
 		case KindBarrier:
 			joinBarrier(f, prof)
+		case KindBankConflict:
+			joinBank(f, prof)
+		case KindSharedRace:
+			joinRace(f, prof)
 		}
 		f.Advice = advice(f)
 	}
 	return fs
 }
+
+// bankReplayCost is the modeled cycle cost of one extra bank pass: one
+// cycle to re-arbitrate the crossbar plus one to move the word.
+const bankReplayCost = 2
 
 // achievableLines is the minimum unique lines a full warp of contiguous
 // accesses of the given width needs: the coalescing target.
@@ -274,6 +350,54 @@ func joinBarrier(f *Finding, prof *Profile) {
 	}
 }
 
+func joinBank(f *Finding, prof *Profile) {
+	s := prof.SharedMem[f.Site.Loc()]
+	if s == nil {
+		f.Dynamic = &DynamicEvidence{}
+		f.Verdict = VerdictUnobserved
+		return
+	}
+	f.Dynamic = &DynamicEvidence{
+		Observed:       true,
+		WarpExecs:      s.Count,
+		DivergentExecs: s.Conflicted,
+		MeasuredDegree: s.Degree(),
+		MaxDegree:      s.MaxDegree,
+		BankReplays:    s.ReplaySum,
+	}
+	f.EstimatedCycles = s.ReplaySum * bankReplayCost
+	// The static degree is a worst-case bound; the finding is refuted
+	// when the executed lane patterns never actually collided (partial
+	// warps, favourable bases).
+	if s.ReplaySum > 0 {
+		f.Verdict = VerdictCorroborated
+	} else {
+		f.Verdict = VerdictRefuted
+	}
+}
+
+func joinRace(f *Finding, prof *Profile) {
+	raced := prof.SharedRaces[f.Site.Loc()]
+	s := prof.SharedMem[f.Site.Loc()]
+	if s == nil && raced == 0 {
+		f.Dynamic = &DynamicEvidence{}
+		f.Verdict = VerdictUnobserved
+		return
+	}
+	dyn := &DynamicEvidence{Observed: true, RaceReads: raced}
+	if s != nil {
+		dyn.WarpExecs = s.Count
+	}
+	f.Dynamic = dyn
+	// The last-writer check is per-word exact, so a clean run on this
+	// input refutes (does not disprove) the static hazard.
+	if raced > 0 {
+		f.Verdict = VerdictCorroborated
+	} else {
+		f.Verdict = VerdictRefuted
+	}
+}
+
 // advice renders the deterministic recommendation text for a finding in
 // its current (joined or static-only) state.
 func advice(f *Finding) string {
@@ -304,19 +428,60 @@ func advice(f *Finding) string {
 			}
 		}
 		return s
+	case KindBankConflict:
+		return bankAdvice(f)
+	case KindSharedRace:
+		target := "the shared array"
+		if f.Static.Decl != "" {
+			target = fmt.Sprintf("shared @%s", f.Static.Decl)
+		}
+		w := ""
+		if f.Static.Write != nil {
+			w = fmt.Sprintf(" (write in block %s at %s)", f.Static.Write.Block, f.Static.Write)
+		}
+		return fmt.Sprintf("a thread-varying write and this read of %s share a barrier interval and can touch the same word from different threads%s: insert a bar.sync between them", target, w)
 	}
 	return ""
 }
 
-// Rank orders findings by actionable severity: corroborated barriers
-// first (correctness hazards), then by estimated cycle benefit, then by
-// kind severity, verdict, and finally full site order — a total order,
-// so ranking is deterministic regardless of input order or parallelism.
+// bankAdvice renders the recommendation for a bank-conflict finding,
+// including a concrete padding suggestion when the per-lane stride is
+// known: the smallest stride increase (in element steps) that makes the
+// predicted degree collapse to 1.
+func bankAdvice(f *Finding) string {
+	target := "the shared array"
+	if f.Static.Decl != "" {
+		target = fmt.Sprintf("shared @%s", f.Static.Decl)
+	}
+	s := fmt.Sprintf("lanes are predicted to hit the same bank %d ways deep on %s", f.Static.Degree, target)
+	elem := int64(f.Static.AccessBytes)
+	stride := f.Static.StrideBytes
+	if stride != 0 && elem > 0 {
+		for pad := stride + elem; pad <= stride+int64(staticadvisor.NumBanks)*elem; pad += elem {
+			if staticadvisor.BankDegreeStride(pad, f.Static.AccessBytes) == 1 {
+				s += fmt.Sprintf(": pad the per-lane stride from %dB to %dB (%d to %d elements) so consecutive lanes fall in different banks",
+					stride, pad, stride/elem, pad/elem)
+				return s
+			}
+		}
+	}
+	s += ": pad the array's leading dimension by one element, or reorder the indexing so consecutive lanes touch consecutive words"
+	return s
+}
+
+// Rank orders findings by actionable severity: corroborated correctness
+// hazards (barriers, shared races) first, then by estimated cycle
+// benefit, then by kind severity, verdict, and finally full site order —
+// a total order, so ranking is deterministic regardless of input order
+// or parallelism.
 func Rank(fs []Finding) {
+	hazard := func(f *Finding) bool {
+		return (f.Kind == KindBarrier || f.Kind == KindSharedRace) &&
+			f.Verdict == VerdictCorroborated
+	}
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := &fs[i], &fs[j]
-		ab := a.Kind == KindBarrier && a.Verdict == VerdictCorroborated
-		bb := b.Kind == KindBarrier && b.Verdict == VerdictCorroborated
+		ab, bb := hazard(a), hazard(b)
 		if ab != bb {
 			return ab
 		}
@@ -353,10 +518,14 @@ func kindRank(k Kind) int {
 	switch k {
 	case KindBarrier:
 		return 0
-	case KindBranch:
+	case KindSharedRace:
 		return 1
-	default:
+	case KindBranch:
 		return 2
+	case KindAccess:
+		return 3
+	default:
+		return 4
 	}
 }
 

@@ -24,17 +24,24 @@ import (
 
 // SchemaVersion identifies the report schema. Any change to the JSON
 // shape of Report or its fields must bump the version; Decode rejects
-// every other version.
-const SchemaVersion = "advisor-report/v1"
+// every other version. v2 added the shared-memory kinds (bank-conflict,
+// shared-race) and their static/dynamic evidence fields.
+const SchemaVersion = "advisor-report/v2"
 
 // Kind classifies a finding.
 type Kind string
 
-// The three finding kinds, mirroring the static advisor's checkers.
+// The finding kinds, mirroring the static advisor's checkers.
 const (
 	KindBranch  Kind = "divergent-branch"
 	KindAccess  Kind = "memory-access"
 	KindBarrier Kind = "divergent-barrier"
+	// KindBankConflict: a shared-memory access whose lane address pattern
+	// hits one bank with multiple distinct words (schema v2).
+	KindBankConflict Kind = "bank-conflict"
+	// KindSharedRace: a shared-memory read that can observe another
+	// thread's write from the same barrier interval (schema v2).
+	KindSharedRace Kind = "shared-race"
 )
 
 // Verdict states how the dynamic evidence relates to the static claim.
@@ -95,6 +102,17 @@ type StaticEvidence struct {
 	Class          string `json:"class,omitempty"`
 	StrideBytes    int64  `json:"stride_bytes,omitempty"`
 	PredictedLines int    `json:"predicted_lines,omitempty"`
+
+	// Shared-memory findings (schema v2): the SharedDecl the address
+	// resolves to ("" when unknown), the predicted conflict degree, and
+	// whether the access is a warp broadcast.
+	Decl      string `json:"decl,omitempty"`
+	Degree    int    `json:"degree,omitempty"`
+	Broadcast bool   `json:"broadcast,omitempty"`
+
+	// Write is the conflicting write site of a shared-race finding (the
+	// finding's own Site is the read).
+	Write *Site `json:"write,omitempty"`
 }
 
 // DynamicEvidence carries the profiler's per-site measurements.
@@ -119,6 +137,16 @@ type DynamicEvidence struct {
 	// (loads only; the vertical-bypass criterion).
 	ReuseSamples int64 `json:"reuse_samples,omitempty"`
 	ReuseReused  int64 `json:"reuse_reused,omitempty"`
+
+	// Bank-conflict findings (schema v2): measured average and maximum
+	// conflict degree and the summed extra bank passes at this site.
+	MeasuredDegree float64 `json:"measured_degree,omitempty"`
+	MaxDegree      int     `json:"max_degree,omitempty"`
+	BankReplays    int64   `json:"bank_replays,omitempty"`
+
+	// Shared-race findings (schema v2): lane reads that hit a word
+	// another thread wrote in the same barrier interval.
+	RaceReads int64 `json:"race_reads,omitempty"`
 }
 
 // Finding is one joined static/dynamic observation at one source site.

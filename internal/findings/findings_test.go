@@ -50,6 +50,28 @@ func sampleReport() *Report {
 			Static:  StaticEvidence{Shape: "uniform", AccessOp: "st", AccessBytes: 4, Class: "uniform", PredictedLines: 1},
 			Verdict: VerdictUnobserved, Advice: "none",
 		},
+		{
+			Kind: KindBankConflict,
+			Site: Site{File: "a.mir", Line: 40, Col: 3, Func: "k", Block: "body"},
+			Static: StaticEvidence{
+				Shape: "affine(stride 64)", AccessOp: "st", AccessBytes: 4,
+				StrideBytes: 64, Decl: "tile", Degree: 16,
+			},
+			Dynamic: &DynamicEvidence{
+				Observed: true, WarpExecs: 32, DivergentExecs: 32,
+				MeasuredDegree: 16, MaxDegree: 16, BankReplays: 480,
+			},
+			Verdict: VerdictCorroborated, EstimatedCycles: 960, Advice: "pad",
+		},
+		{
+			Kind:   KindSharedRace,
+			Site:   Site{File: "a.mir", Line: 50, Col: 3, Func: "k", Block: "body"},
+			Static: StaticEvidence{Shape: "same-interval", Decl: "tile", Write: &Site{File: "a.mir", Line: 48, Col: 3, Func: "k", Block: "body"}},
+			Dynamic: &DynamicEvidence{
+				Observed: true, WarpExecs: 2, RaceReads: 63,
+			},
+			Verdict: VerdictCorroborated, Advice: "insert a bar.sync",
+		},
 	}
 	return NewReport("demo", "kepler-k40c", 128, 1, fs)
 }
@@ -57,7 +79,7 @@ func sampleReport() *Report {
 // The schema version is part of the public contract: changing the JSON
 // shape requires bumping it, and this test pins the current value.
 func TestSchemaVersionPinned(t *testing.T) {
-	if SchemaVersion != "advisor-report/v1" {
+	if SchemaVersion != "advisor-report/v2" {
 		t.Fatalf("SchemaVersion = %q; changing the schema requires updating consumers and this pin", SchemaVersion)
 	}
 }
@@ -90,9 +112,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestDecodeRejectsWrongVersion(t *testing.T) {
 	r := sampleReport()
 	enc, _ := Encode(r)
-	bad := bytes.Replace(enc, []byte("advisor-report/v1"), []byte("advisor-report/v2"), 1)
-	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "advisor-report/v1") {
-		t.Fatalf("decode of v2 report: err = %v, want version mismatch naming v1", err)
+	bad := bytes.Replace(enc, []byte("advisor-report/v2"), []byte("advisor-report/v1"), 1)
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "advisor-report/v2") {
+		t.Fatalf("decode of v1 report: err = %v, want version mismatch naming v2", err)
 	}
 	if _, err := Decode([]byte(`{"findings":[]}`)); err == nil {
 		t.Fatalf("decode without schema field must fail")
@@ -130,10 +152,15 @@ func TestRankDeterministic(t *testing.T) {
 
 func TestRankOrdering(t *testing.T) {
 	fs := sampleReport().Findings
+	// Corroborated hazards (divergent barriers and shared races) form the
+	// top group regardless of cycle benefit; the rest sort by benefit.
 	if fs[0].Kind != KindBarrier {
 		t.Fatalf("corroborated barrier must rank first, got %s", fs[0].Kind)
 	}
-	for i := 1; i+1 < len(fs); i++ {
+	if fs[1].Kind != KindSharedRace {
+		t.Fatalf("corroborated shared race must rank second, got %s", fs[1].Kind)
+	}
+	for i := 2; i+1 < len(fs); i++ {
 		if fs[i].EstimatedCycles < fs[i+1].EstimatedCycles {
 			t.Fatalf("findings %d and %d out of benefit order: %d < %d",
 				i, i+1, fs[i].EstimatedCycles, fs[i+1].EstimatedCycles)
@@ -291,9 +318,13 @@ func TestWriteTextStable(t *testing.T) {
 	}
 	for _, want := range []string{
 		"advisor report: demo on kepler-k40c",
-		"findings: 4 total — 3 corroborated, 0 refuted, 1 unobserved",
+		"findings: 6 total — 5 corroborated, 0 refuted, 1 unobserved",
 		"[divergent-barrier]",
 		"benefit: ~13888 cycles",
+		"predicted 16-way bank conflict (stride 64B)",
+		"measured degree 16.00 (max 16), 480 extra bank passes",
+		"read of shared @tile races a same-interval write from block body at a.mir:48:3",
+		"63 lane reads hit another thread's same-interval write",
 	} {
 		if !strings.Contains(a.String(), want) {
 			t.Fatalf("text report missing %q:\n%s", want, a.String())

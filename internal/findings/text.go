@@ -45,6 +45,27 @@ func writeStatic(w io.Writer, f *Finding) {
 		fmt.Fprintf(w, ", predicted %d lines/warp\n", f.Static.PredictedLines)
 	case KindBarrier:
 		fmt.Fprintf(w, "    static:  barrier reachable under divergent control\n")
+	case KindBankConflict:
+		decl := f.Static.Decl
+		if decl == "" {
+			decl = "?"
+		}
+		fmt.Fprintf(w, "    static:  %s %dB shared @%s, predicted %d-way bank conflict",
+			f.Static.AccessOp, f.Static.AccessBytes, decl, f.Static.Degree)
+		if f.Static.StrideBytes != 0 {
+			fmt.Fprintf(w, " (stride %dB)", f.Static.StrideBytes)
+		}
+		fmt.Fprintf(w, "\n")
+	case KindSharedRace:
+		decl := f.Static.Decl
+		if decl == "" {
+			decl = "?"
+		}
+		fmt.Fprintf(w, "    static:  read of shared @%s races a same-interval write", decl)
+		if ws := f.Static.Write; ws != nil {
+			fmt.Fprintf(w, " from block %s at %s", ws.Block, ws)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 }
 
@@ -65,6 +86,12 @@ func writeDynamic(w io.Writer, f *Finding) {
 			fmt.Fprintf(w, "; reuse %d/%d", d.ReuseReused, d.ReuseSamples)
 		}
 		fmt.Fprintf(w, "\n")
+	case KindBankConflict:
+		fmt.Fprintf(w, "    dynamic: %d warp accesses, measured degree %.2f (max %d), %d extra bank passes\n",
+			d.WarpExecs, d.MeasuredDegree, d.MaxDegree, d.BankReplays)
+	case KindSharedRace:
+		fmt.Fprintf(w, "    dynamic: %d warp reads, %d lane reads hit another thread's same-interval write\n",
+			d.WarpExecs, d.RaceReads)
 	default:
 		fmt.Fprintf(w, "    dynamic: %d block executions, %d divergent\n",
 			d.WarpExecs, d.DivergentExecs)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"cudaadvisor/internal/ir"
 	"cudaadvisor/internal/runner"
@@ -80,6 +81,13 @@ type LaunchParams struct {
 	// depend on how much work other SMs did (the property that keeps
 	// runaway faults identical at every worker count).
 	MaxWarpInstrs int64
+
+	// WatchShared enables the dynamic shared-memory checks: per-warp
+	// bank-conflict counting on every shared access and the per-barrier-
+	// interval last-writer race check. Watching is purely observational —
+	// the timing model is untouched — so cycles and results stay
+	// byte-identical with it on or off.
+	WatchShared bool
 }
 
 // LaunchResult reports functional and model-timing outcomes of a launch.
@@ -92,6 +100,14 @@ type LaunchResult struct {
 	MSHRStalls  int64
 	CTAs        int
 	WarpsPerCTA int
+
+	// Shared-memory dynamic checks, populated only under WatchShared.
+	SharedAccesses int64 // dynamic warp-level shared-memory instructions
+	BankReplays    int64 // extra bank passes: sum of (conflict degree - 1)
+	// SharedRaces lists, per load site and sorted by location, the lane
+	// reads that hit a word another thread wrote in the same barrier
+	// interval.
+	SharedRaces []SharedRaceSite
 }
 
 // Device is a simulated GPU: an architecture configuration plus global
@@ -200,7 +216,8 @@ type launchState struct {
 	// replay instead of dispatching them inline (the parallel path).
 	buffer bool
 
-	res LaunchResult
+	res   LaunchResult
+	races map[ir.Loc]int64 // merged per-site race counts (WatchShared)
 }
 
 // Launch executes the kernel on the device. The kernel's module must be
@@ -289,6 +306,19 @@ func (d *Device) Launch(kernel *ir.Function, p LaunchParams) (*LaunchResult, err
 			return nil, err
 		}
 	}
+	for loc, n := range ls.races {
+		ls.res.SharedRaces = append(ls.res.SharedRaces, SharedRaceSite{Loc: loc, Count: n})
+	}
+	sort.Slice(ls.res.SharedRaces, func(i, j int) bool {
+		a, b := ls.res.SharedRaces[i].Loc, ls.res.SharedRaces[j].Loc
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
 	return &ls.res, nil
 }
 
@@ -320,6 +350,14 @@ func (ls *launchState) merge(s *smShard, cycles int64) {
 	r.WarpInstrs += s.instrs
 	r.MemInstrs += s.memInstrs
 	r.HookCalls += s.hookCalls
+	r.SharedAccesses += s.sharedAccesses
+	r.BankReplays += s.bankReplays
+	for loc, n := range s.raceSites {
+		if ls.races == nil {
+			ls.races = map[ir.Loc]int64{}
+		}
+		ls.races[loc] += n
+	}
 	if cycles > r.Cycles {
 		r.Cycles = cycles
 	}
@@ -681,6 +719,9 @@ func (s *smShard) execLoad(w *warpState, fr *frame, in *ir.Instr, mask uint32, n
 	}
 	// Timing.
 	if in.Space == ir.Shared {
+		if s.ls.p.WatchShared {
+			s.watchSharedLoad(w, in, mask, &addrs)
+		}
 		return int64(s.ls.cfg.SharedLat), nil
 	}
 	s.memInstrs++
@@ -737,6 +778,9 @@ func (s *smShard) execStore(w *warpState, fr *frame, in *ir.Instr, mask uint32, 
 		}
 	}
 	if in.Space == ir.Shared {
+		if s.ls.p.WatchShared {
+			s.watchSharedStore(w, in, mask, &addrs)
+		}
 		return int64(s.ls.cfg.SharedLat) / 2, nil
 	}
 	s.memInstrs++
@@ -746,6 +790,72 @@ func (s *smShard) execStore(w *warpState, fr *frame, in *ir.Instr, mask uint32, 
 		s.l1.write(line)
 	}
 	return int64(len(s.lineBuf)), nil
+}
+
+// watchSharedLoad observes one warp shared-memory load under WatchShared:
+// it counts the access and its bank replays, and runs the last-writer
+// race check over each active lane's covered words.
+func (s *smShard) watchSharedLoad(w *warpState, in *ir.Instr, mask uint32, addrs *[WarpSize]uint64) {
+	size := in.Mem.Size()
+	s.sharedAccesses++
+	s.bankReplays += int64(BankConflictDegree(mask, addrs, size) - 1)
+	sh := w.cta.shared
+	if sh.epochs == nil {
+		return
+	}
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		thread := int32(w.view.WarpInCTA*WarpSize + lane)
+		if sh.readRaced(addrs[lane], size, thread) {
+			if s.raceSites == nil {
+				s.raceSites = map[ir.Loc]int64{}
+			}
+			s.raceSites[in.Loc]++
+		}
+	}
+}
+
+// watchSharedStore observes one warp shared-memory store under
+// WatchShared: it counts the access and its bank replays, and stamps each
+// active lane as the interval's last writer of its covered words, in lane
+// order (the order the functional store applied them). A warp-uniform
+// store — every active lane addressing the same words — stamps the
+// uniformWriter wildcard instead, matching the static race detector's
+// broadcast-initialization treatment of uniform-address writes.
+func (s *smShard) watchSharedStore(w *warpState, in *ir.Instr, mask uint32, addrs *[WarpSize]uint64) {
+	size := in.Mem.Size()
+	s.sharedAccesses++
+	s.bankReplays += int64(BankConflictDegree(mask, addrs, size) - 1)
+	sh := w.cta.shared
+	if sh.epochs == nil {
+		return
+	}
+	first, uniform := -1, true
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		if first < 0 {
+			first = lane
+		} else if addrs[lane] != addrs[first] {
+			uniform = false
+			break
+		}
+	}
+	if first < 0 {
+		return
+	}
+	if uniform {
+		sh.stampWrite(addrs[first], size, uniformWriter)
+		return
+	}
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<uint(lane)) != 0 {
+			sh.stampWrite(addrs[lane], size, int32(w.view.WarpInCTA*WarpSize+lane))
+		}
+	}
 }
 
 func (s *smShard) execAtomic(w *warpState, fr *frame, in *ir.Instr, mask uint32) (int64, error) {
@@ -875,6 +985,9 @@ func (s *smShard) releaseBarrierIfReady(cta *ctaState) {
 	}
 	cta.arrived = 0
 	cta.barrierAt = 0
+	// A full release starts the next barrier interval for the dynamic
+	// shared-memory race check (a no-op when the launch is not watching).
+	cta.shared.newInterval()
 }
 
 // PopCount returns the number of set bits in a mask (helper for analyses).

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -622,7 +623,7 @@ func TestLaunchDeterministic(t *testing.T) {
 		return res
 	}
 	r1, r2 := run(d1), run(d2)
-	if *r1 != *r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Errorf("non-deterministic launch results:\n%+v\n%+v", r1, r2)
 	}
 }

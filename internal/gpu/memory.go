@@ -146,12 +146,69 @@ func (d *DeviceMemory) Int32Slice(addr uint64, n int) ([]int32, error) {
 	return out, nil
 }
 
-// sharedMem is one CTA's scratchpad.
+// sharedMem is one CTA's scratchpad. Under LaunchParams.WatchShared it
+// additionally tracks, per 4-byte bank word, the last thread that wrote
+// the word in the current barrier interval — the metadata behind the
+// dynamic intra-CTA race check.
 type sharedMem struct {
 	buf []byte
+
+	// epochs[w]/writers[w] record the barrier interval and CTA-linear
+	// thread id of the most recent store covering word w. Allocated only
+	// when the launch watches shared memory; epoch starts at 1 so zeroed
+	// metadata never reads as "written this interval".
+	epoch   uint32
+	epochs  []uint32
+	writers []int32
 }
 
-func newSharedMem(n int64) *sharedMem { return &sharedMem{buf: make([]byte, n)} }
+func newSharedMem(n int64, watch bool) *sharedMem {
+	s := &sharedMem{buf: make([]byte, n)}
+	if watch && n > 0 {
+		s.epoch = 1
+		words := (n + BankWidth - 1) / BankWidth
+		s.epochs = make([]uint32, words)
+		s.writers = make([]int32, words)
+	}
+	return s
+}
+
+// uniformWriter marks a word last written by a warp-uniform store: every
+// active lane addressed the same words. The static race detector treats
+// uniform-address writes as broadcast initialization rather than race
+// candidates, and the dynamic check mirrors that model — reads of such
+// words never count as races.
+const uniformWriter int32 = -1
+
+// newInterval starts the next barrier interval: earlier stamped writes no
+// longer conflict with later reads. Called on every full barrier release.
+func (s *sharedMem) newInterval() {
+	if s.epochs != nil {
+		s.epoch++
+	}
+}
+
+// stampWrite records thread as the current interval's last writer of
+// every word the n-byte store at addr covers. The store is already
+// bounds-checked when this runs.
+func (s *sharedMem) stampWrite(addr uint64, n int, thread int32) {
+	for w := addr / BankWidth; w <= (addr+uint64(n)-1)/BankWidth; w++ {
+		s.epochs[w] = s.epoch
+		s.writers[w] = thread
+	}
+}
+
+// readRaced reports whether any word of the n-byte load at addr was
+// written in the current barrier interval by a different thread — the
+// dynamic form of the static race detector's same-interval hazard.
+func (s *sharedMem) readRaced(addr uint64, n int, thread int32) bool {
+	for w := addr / BankWidth; w <= (addr+uint64(n)-1)/BankWidth; w++ {
+		if s.epochs[w] == s.epoch && s.writers[w] != thread && s.writers[w] != uniformWriter {
+			return true
+		}
+	}
+	return false
+}
 
 // checkShared guards one shared-memory access; end < addr catches
 // addr+size wrapping uint64 (same wild-pointer hazard as DeviceMemory).

@@ -28,7 +28,7 @@ func TestDeviceMemoryWraparoundChecked(t *testing.T) {
 }
 
 func TestSharedMemoryWraparoundChecked(t *testing.T) {
-	s := newSharedMem(4096)
+	s := newSharedMem(4096, false)
 	wild := ^uint64(0) - 1 // wild+4 wraps to 2
 	if _, err := s.load(ir.MemF32, wild); err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Errorf("shared load at %#x: err = %v, want out-of-range", wild, err)

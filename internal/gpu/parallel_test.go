@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -148,7 +149,7 @@ func TestParallelLaunchByteIdentical(t *testing.T) {
 			if par.err != nil {
 				t.Fatal(par.err)
 			}
-			if serial.res != par.res {
+			if !reflect.DeepEqual(serial.res, par.res) {
 				t.Errorf("LaunchResult differs:\nserial: %+v\npooled: %+v", serial.res, par.res)
 			}
 			if string(serial.mem) != string(par.mem) {

@@ -25,6 +25,11 @@ type smShard struct {
 	memInstrs int64
 	hookCalls int64
 
+	// Shared-memory watch counters (LaunchParams.WatchShared).
+	sharedAccesses int64
+	bankReplays    int64
+	raceSites      map[ir.Loc]int64
+
 	// Parallel-path state: buffered hook events (replayed in SM order
 	// after the shards join), the shard's private write view of global
 	// memory, and the run outcome captured for the ordered merge.
@@ -181,7 +186,7 @@ func (s *smShard) newCTA(id, threadsPerCTA, warpsPerCTA int, at int64) *ctaState
 	cta := &ctaState{
 		id:     id,
 		coord:  coord,
-		shared: newSharedMem(ls.kernel.SharedBytes),
+		shared: newSharedMem(ls.kernel.SharedBytes, ls.p.WatchShared),
 	}
 	for wi := 0; wi < warpsPerCTA; wi++ {
 		mask := uint32(0)

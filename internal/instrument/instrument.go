@@ -67,6 +67,14 @@ type Options struct {
 // its overhead measurements ("memory and control flow instrumentation").
 func MemoryAndBlocks() Options { return Options{Memory: true, Blocks: true} }
 
+// MemorySharedAndBlocks is MemoryAndBlocks extended into the shared
+// address space: shared loads/stores also raise HookMem, and launches run
+// with the simulator's shared-memory watch (bank-conflict counters and
+// the last-writer race check) enabled.
+func MemorySharedAndBlocks() Options {
+	return Options{Memory: true, SharedMemory: true, Blocks: true}
+}
+
 // BlockInfo describes one instrumented basic block (the string table the
 // paper stores in GPU global memory for passBasicBlock).
 type BlockInfo struct {

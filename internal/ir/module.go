@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -21,8 +22,24 @@ type SharedDecl struct {
 	Offset int64
 }
 
-// Bytes returns the array's size in bytes.
-func (s SharedDecl) Bytes() int64 { return int64(s.Elem.Size()) * int64(s.Count) }
+// Bytes returns the array's size in bytes. A non-positive count sizes
+// to 0, and a product that would overflow int64 saturates at MaxInt64,
+// so an absurd declaration can never wrap into a small or negative
+// layout — it instead exceeds every device's shared-memory capacity and
+// is rejected at launch.
+func (s SharedDecl) Bytes() int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	elem := int64(s.Elem.Size())
+	if elem <= 0 {
+		return 0
+	}
+	if int64(s.Count) > math.MaxInt64/elem {
+		return math.MaxInt64
+	}
+	return elem * int64(s.Count)
+}
 
 // Block is a basic block: a label plus a straight-line instruction list
 // ending in exactly one terminator.

@@ -1,0 +1,81 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSharedDeclBytes pins the SharedDecl sizing edge cases: the empty
+// declaration, exact capacity boundaries, and the overflow guard for
+// absurd counts (which must saturate rather than wrap).
+func TestSharedDeclBytes(t *testing.T) {
+	const sharedMemPerSM = 48 * 1024 // the Kepler per-SM capacity
+	cases := []struct {
+		name  string
+		elem  MemType
+		count int
+		want  int64
+	}{
+		{"zero count", MemF32, 0, 0},
+		{"negative count", MemI32, -1, 0},
+		{"one word", MemI32, 1, 4},
+		{"byte elements", MemI8, 48 * 1024, sharedMemPerSM},
+		{"exactly the SM capacity", MemF32, 12 * 1024, sharedMemPerSM},
+		{"one element past the SM capacity", MemF32, 12*1024 + 1, sharedMemPerSM + 4},
+		{"wide elements", MemI64, 6 * 1024, sharedMemPerSM},
+		{"absurd count saturates", MemI64, math.MaxInt64 / 4, math.MaxInt64},
+		{"max count saturates", MemF32, math.MaxInt64, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := SharedDecl{Name: "a", Elem: tc.elem, Count: tc.count}
+			if got := d.Bytes(); got != tc.want {
+				t.Errorf("SharedDecl{%v x %d}.Bytes() = %d, want %d", tc.elem, tc.count, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSharedLayoutEdgeCases finalizes kernels with boundary declarations
+// and checks the 8-byte-aligned layout: a zero-count array occupies no
+// space but still gets a stable offset, and an array ending exactly at
+// the SM capacity leaves SharedBytes exactly there.
+func TestSharedLayoutEdgeCases(t *testing.T) {
+	const sharedMemPerSM = 48 * 1024
+
+	b := NewKernel("k")
+	b.Shared("empty", MemF32, 0)
+	b.Shared("a", MemI8, 3) // 3 bytes -> next offset padded to 8
+	b.Shared("b", MemF32, 1)
+	b.Blk("entry").Ret()
+	m, err := BuildModule("layout", b.Done())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	f := m.Func("k")
+	if got := f.SharedArray("empty").Offset; got != 0 {
+		t.Errorf("empty array offset = %d, want 0", got)
+	}
+	if got := f.SharedArray("a").Offset; got != 0 {
+		t.Errorf("array a offset = %d, want 0 (empty predecessor is zero-sized)", got)
+	}
+	if got := f.SharedArray("b").Offset; got != 8 {
+		t.Errorf("array b offset = %d, want 8 (3 bytes padded up)", got)
+	}
+	if f.SharedBytes != 16 {
+		t.Errorf("SharedBytes = %d, want 16", f.SharedBytes)
+	}
+
+	// An array sized exactly to the SM boundary must land exactly there,
+	// with no padding drift.
+	b2 := NewKernel("k")
+	b2.Shared("full", MemF32, sharedMemPerSM/4)
+	b2.Blk("entry").Ret()
+	m2, err := BuildModule("boundary", b2.Done())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if got := m2.Func("k").SharedBytes; got != sharedMemPerSM {
+		t.Errorf("SharedBytes = %d, want exactly %d", got, sharedMemPerSM)
+	}
+}

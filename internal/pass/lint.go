@@ -56,12 +56,25 @@ func LintBarriers(w io.Writer) Pass {
 		}}
 }
 
-// Lint runs all three static-advisor checkers.
+// LintSharedMemory reports the shared-memory checkers' findings: the
+// predicted bank-conflict degree of every shared access and any
+// intra-CTA write/read hazards within one barrier interval.
+func LintSharedMemory(w io.Writer) Pass {
+	return &lintPass{name: "lint-smem", w: w,
+		write: func(w io.Writer, res *staticadvisor.ModuleResult) {
+			res.WriteSharedAccesses(w, "lint-smem")
+			res.WriteRaces(w, "lint-smem-race")
+		}}
+}
+
+// Lint runs all the static-advisor checkers.
 func Lint(w io.Writer) Pass {
 	return &lintPass{name: "lint", w: w,
 		write: func(w io.Writer, res *staticadvisor.ModuleResult) {
 			res.WriteBranches(w, "lint-branch")
 			res.WriteAccesses(w, "lint-mem")
 			res.WriteBarriers(w, "lint-barrier")
+			res.WriteSharedAccesses(w, "lint-smem")
+			res.WriteRaces(w, "lint-smem-race")
 		}}
 }

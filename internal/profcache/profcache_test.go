@@ -82,6 +82,7 @@ func TestKeySensitivity(t *testing.T) {
 		{"cfg L1LineSize", profcache.ProfileKey(app, cfgLine, opts, 1, 0)},
 		{"cfg Name", profcache.ProfileKey(app, cfgName, opts, 1, 0)},
 		{"instrument option", profcache.ProfileKey(app, cfg, bothOpts, 1, 0)},
+		{"shared-memory option", profcache.ProfileKey(app, cfg, instrument.MemorySharedAndBlocks(), 1, 0)},
 		{"scale", profcache.ProfileKey(app, cfg, opts, 2, 0)},
 		{"trace cap", profcache.ProfileKey(app, cfg, opts, 1, 4096)},
 		{"cycles", profcache.CyclesKey(app, cfg, 0, 1)},

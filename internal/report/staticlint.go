@@ -11,7 +11,9 @@ import (
 // StaticLint renders the static advisor's module report: per function,
 // the divergence summary, the thread-varying branches, the classified
 // global-memory accesses with predicted lines per warp on both
-// evaluated line sizes, and any barriers under divergent control.
+// evaluated line sizes, the shared-memory accesses with a predicted
+// bank-conflict degree above 1, any same-interval shared-memory races,
+// and any barriers under divergent control.
 //
 // The per-finding lines are rendered from the unified findings model
 // (findings.FromStatic), so the lint and the advise report are two
@@ -61,12 +63,54 @@ func StaticLint(w io.Writer, res *staticadvisor.ModuleResult) {
 					f.Site)
 			}
 		}
+		if hasKind(fs, findings.KindBankConflict) {
+			fmt.Fprintf(w, "  shared memory (predicted bank-conflict degree, %d banks x %dB):\n",
+				staticadvisor.NumBanks, staticadvisor.BankWidth)
+			for _, f := range fs {
+				if f.Kind != findings.KindBankConflict {
+					continue
+				}
+				decl := f.Static.Decl
+				if decl == "" {
+					decl = "?"
+				}
+				detail := fmt.Sprintf("@%s %d-way", decl, f.Static.Degree)
+				if f.Static.StrideBytes != 0 {
+					detail += fmt.Sprintf(" stride %dB", f.Static.StrideBytes)
+				}
+				fmt.Fprintf(w, "    %-7s %dB block %-12s %-24s at %s\n",
+					f.Static.AccessOp, f.Static.AccessBytes, f.Site.Block+":", detail, f.Site)
+			}
+		}
+		for _, f := range fs {
+			if f.Kind != findings.KindSharedRace {
+				continue
+			}
+			decl := f.Static.Decl
+			if decl == "" {
+				decl = "?"
+			}
+			fmt.Fprintf(w, "  RACE on shared @%s: read block %s at %s", decl, f.Site.Block, f.Site)
+			if ws := f.Static.Write; ws != nil {
+				fmt.Fprintf(w, " vs write block %s at %s", ws.Block, ws)
+			}
+			fmt.Fprintf(w, " (same barrier interval)\n")
+		}
 		for _, f := range fs {
 			if f.Kind == findings.KindBarrier {
 				fmt.Fprintf(w, "  BARRIER under divergent control: block %s at %s\n", f.Site.Block, f.Site)
 			}
 		}
 	}
+}
+
+func hasKind(fs []findings.Finding, k findings.Kind) bool {
+	for i := range fs {
+		if fs[i].Kind == k {
+			return true
+		}
+	}
+	return false
 }
 
 // AgreementRow is one application's static-vs-dynamic branch-divergence

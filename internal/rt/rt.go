@@ -290,6 +290,7 @@ func (c *Context) Launch(prog *instrument.Program, kernel string, grid, block [3
 		L1WarpsPerCTA: l1Warps,
 		MaxWarpInstrs: c.Options.MaxWarpInstrs,
 		Ctx:           c.Options.Ctx,
+		WatchShared:   prog.Opts.SharedMemory,
 	})
 	if err != nil {
 		return nil, err

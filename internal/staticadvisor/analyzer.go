@@ -170,6 +170,7 @@ func (a *analyzer) funcResult(f *ir.Function) *FuncResult {
 			}
 		}
 	}
+	fr.SharedAccesses, fr.Races = analyzeShared(f, res.vals, a.layout)
 	return fr
 }
 

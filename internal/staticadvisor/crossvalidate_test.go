@@ -48,7 +48,7 @@ func TestCrossValidateBranchDivergence(t *testing.T) {
 	for _, app := range apps.InTableOrder() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
-			adv := core.New(cfg, instrument.MemoryAndBlocks())
+			adv := core.New(cfg, instrument.MemorySharedAndBlocks())
 			prog, err := app.Instrumented(adv.Opts)
 			if err != nil {
 				t.Fatalf("instrument: %v", err)
@@ -97,6 +97,73 @@ func TestCrossValidateBranchDivergence(t *testing.T) {
 		if r.DynOnly != 0 {
 			t.Errorf("%s: %d dynamically divergent blocks missed by the static analyzer", r.App, r.DynOnly)
 		}
+	}
+}
+
+// TestCrossValidateSharedMemory checks the shared-memory analyzers
+// against the simulator's watch over every benchmark application. The
+// static side is one-sided, so the zero-false-negative direction is the
+// contract: every executed shared access must carry a static degree at
+// least as large as the worst degree the dynamic counter measured, and
+// every read the last-writer check flagged must be a statically
+// detected race.
+func TestCrossValidateSharedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all benchmark applications")
+	}
+	cfg := gpu.KeplerK40c()
+	for _, app := range apps.InTableOrder() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			adv := core.New(cfg, instrument.MemorySharedAndBlocks())
+			prog, err := app.Instrumented(adv.Opts)
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			if err := app.Run(adv.Context(), prog, 1); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			m, err := app.Module()
+			if err != nil {
+				t.Fatalf("module: %v", err)
+			}
+			res, err := staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+
+			predicted := make(map[ir.Loc]int)
+			raceFlagged := make(map[ir.Loc]bool)
+			for _, fr := range res.Funcs {
+				for _, sa := range fr.SharedAccesses {
+					if sa.Degree > predicted[sa.Loc] {
+						predicted[sa.Loc] = sa.Degree
+					}
+				}
+				for _, rc := range fr.Races {
+					raceFlagged[rc.ReadLoc] = true
+				}
+			}
+
+			sb := adv.SharedBankConflicts()
+			for _, s := range sb.Sites() {
+				p, ok := predicted[s.Loc]
+				if !ok {
+					t.Errorf("executed shared access at %s has no static classification", s.Loc)
+					continue
+				}
+				if s.MaxDegree > p {
+					t.Errorf("false negative: %s measured degree %d, statically predicted %d",
+						s.Loc, s.MaxDegree, p)
+				}
+			}
+			for _, rs := range adv.SharedRaces() {
+				if !raceFlagged[rs.Loc] {
+					t.Errorf("false negative: dynamic race at %s (%d reads) not statically flagged",
+						rs.Loc, rs.Count)
+				}
+			}
+		})
 	}
 }
 

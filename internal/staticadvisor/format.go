@@ -32,6 +32,34 @@ func (b BarrierFinding) String() string {
 	return fmt.Sprintf("@%s block %s: barrier under divergent control flow at %s", b.Func, b.Block, b.Loc)
 }
 
+func (s SharedAccessFinding) String() string {
+	decl := s.Decl
+	if decl == "" || decl == "*" {
+		decl = "?"
+	}
+	detail := fmt.Sprintf("%d-way", s.Degree)
+	switch {
+	case s.Broadcast:
+		detail = "broadcast"
+	case s.Degree == 1:
+		detail = "conflict-free"
+	}
+	if s.StrideKnown && !s.Broadcast {
+		detail += fmt.Sprintf(" (stride %dB)", s.Stride)
+	}
+	return fmt.Sprintf("@%s block %s: %s shared @%s %dB: %s, at %s",
+		s.Func, s.Block, s.Op, decl, s.Bytes, detail, s.Loc)
+}
+
+func (r RaceFinding) String() string {
+	decl := r.Decl
+	if decl == "" || decl == "*" {
+		decl = "?"
+	}
+	return fmt.Sprintf("@%s: shared race on @%s: write in block %s at %s, read in block %s at %s, no barrier between",
+		r.Func, decl, r.WriteBlock, r.WriteLoc, r.ReadBlock, r.ReadLoc)
+}
+
 // WriteBranches writes the branch-divergence findings, one line each,
 // prefixed with the given tag.
 func (r *ModuleResult) WriteBranches(w io.Writer, tag string) {
@@ -55,6 +83,25 @@ func (r *ModuleResult) WriteAccesses(w io.Writer, tag string) {
 func (r *ModuleResult) WriteBarriers(w io.Writer, tag string) {
 	for _, fr := range r.Funcs {
 		for _, f := range fr.Barriers {
+			fmt.Fprintf(w, "%s: %s\n", tag, f)
+		}
+	}
+}
+
+// WriteSharedAccesses writes the shared-memory bank-conflict
+// classification findings.
+func (r *ModuleResult) WriteSharedAccesses(w io.Writer, tag string) {
+	for _, fr := range r.Funcs {
+		for _, f := range fr.SharedAccesses {
+			fmt.Fprintf(w, "%s: %s\n", tag, f)
+		}
+	}
+}
+
+// WriteRaces writes the intra-CTA shared-memory race findings.
+func (r *ModuleResult) WriteRaces(w io.Writer, tag string) {
+	for _, fr := range r.Funcs {
+		for _, f := range fr.Races {
 			fmt.Fprintf(w, "%s: %s\n", tag, f)
 		}
 	}

@@ -124,6 +124,15 @@ type FuncResult struct {
 	// Accesses classifies every global-memory load/store/atomic.
 	Accesses []AccessFinding
 
+	// SharedAccesses classifies every shared-memory load/store/atomic by
+	// its predicted bank-conflict degree.
+	SharedAccesses []SharedAccessFinding
+
+	// Races lists intra-CTA shared-memory write/read hazards: pairs in
+	// one barrier interval that can touch the same bank word from
+	// different threads.
+	Races []RaceFinding
+
 	// Barriers lists bar instructions reachable under divergent control
 	// — the static form of the simulator's "divergent barrier" fault.
 	Barriers []BarrierFinding
