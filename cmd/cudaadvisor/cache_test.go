@@ -13,6 +13,7 @@ import (
 type cacheLine struct {
 	raw                                                          string
 	requests, memoHits, diskHits, misses, bad, stores, storeErrs int64
+	evictions, heals                                             int64
 }
 
 func parseCacheStats(t *testing.T, stderr string) cacheLine {
@@ -23,8 +24,8 @@ func parseCacheStats(t *testing.T, stderr string) cacheLine {
 		}
 		c := cacheLine{raw: line}
 		if _, err := fmt.Sscanf(line,
-			"cache: %d requests, %d memo hits, %d disk hits, %d misses, %d bad entries, %d stores, %d store errors",
-			&c.requests, &c.memoHits, &c.diskHits, &c.misses, &c.bad, &c.stores, &c.storeErrs); err != nil {
+			"cache: %d requests, %d memo hits, %d disk hits, %d misses, %d bad entries, %d stores, %d store errors, %d evictions, %d heals",
+			&c.requests, &c.memoHits, &c.diskHits, &c.misses, &c.bad, &c.stores, &c.storeErrs, &c.evictions, &c.heals); err != nil {
 			t.Fatalf("unparseable cache stats line %q: %v", line, err)
 		}
 		return c

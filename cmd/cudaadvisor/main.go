@@ -13,6 +13,7 @@
 //	cudaadvisor figure6|figure7|figure10
 //	cudaadvisor debugviews                Figures 8/9 (code/data-centric)
 //	cudaadvisor all                       every table and figure
+//	cudaadvisor serve [flags]             profiling-as-a-service HTTP daemon
 //
 // Global flags (before the command):
 //
@@ -35,7 +36,10 @@
 //	                   and timing cells within one invocation are served
 //	                   from one shared run (byte-identical output)
 //	-cache-dir DIR     persist the cache in DIR so later runs start warm
-//	                   (implies -cache); corrupt entries are just misses
+//	                   (implies -cache); corrupt entries are just misses;
+//	                   safe to share between concurrent processes
+//	-cache-budget N    cap the disk store at N bytes (LRU eviction)
+//	-memo-budget N     cap the in-process memoizer at N entries
 //	-cache-stats       print a hit/miss summary line to stderr
 //
 // Flags for profile:
@@ -47,6 +51,13 @@
 //	                       conflicts and same-interval races, and print
 //	                       the shared-memory section
 //
+// serve runs the pipeline as a hardened HTTP daemon (DESIGN.md §11):
+// /v1/profile, /v1/lint and /v1/advise answer from the shared cache
+// with CLI-byte-identical bodies; -width/-depth bound admission
+// (overflow is shed with 429 + Retry-After), -cell-timeout becomes the
+// per-request deadline, -keep-going yields partial 200 responses, and
+// SIGTERM drains gracefully within -drain.
+//
 // lint runs the static advisor (no simulation): the uniformity analysis
 // predicts divergent branches, classifies global-memory accesses,
 // predicts shared-memory bank conflicts and intra-CTA races, and flags
@@ -55,24 +66,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
-	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/apps"
-	"cudaadvisor/internal/core"
 	"cudaadvisor/internal/experiments"
 	"cudaadvisor/internal/faultinject"
 	"cudaadvisor/internal/findings"
 	"cudaadvisor/internal/gpu"
-	"cudaadvisor/internal/instrument"
-	"cudaadvisor/internal/irtext"
 	"cudaadvisor/internal/profcache"
 	"cudaadvisor/internal/report"
 	"cudaadvisor/internal/runner"
+	"cudaadvisor/internal/serve"
 	"cudaadvisor/internal/staticadvisor"
 )
 
@@ -91,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheOn := fs.Bool("cache", false, "share repeated profiling/timing cells in-process (content-addressed memoizer)")
 	cacheDir := fs.String("cache-dir", "", "persist the profile cache here (implies -cache); corrupt entries are misses")
 	cacheStats := fs.Bool("cache-stats", false, "print a cache summary line to stderr after the command")
+	cacheBudget := fs.Int64("cache-budget", 0, "on-disk cache size budget in bytes (0 = unlimited); oldest entries are evicted")
+	memoBudget := fs.Int("memo-budget", 0, "bound the in-process memoizer to N resolved entries (0 = unlimited)")
 	fs.Usage = func() { usage(stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +122,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	env.KeepGoing = *keepGoing
 	if *cacheOn || *cacheDir != "" {
 		env.Cache = profcache.New(*cacheDir)
+		if *cacheBudget > 0 {
+			env.Cache.SetBudget(*cacheBudget)
+		}
+		if *memoBudget > 0 {
+			env.Cache.SetMemoBudget(*memoBudget)
+		}
 	}
 	if *injectSpec != "" {
 		inj, err := faultinject.Parse(*injectSpec)
@@ -122,7 +145,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %-9s warps/CTA=%-3d %s\n", a.Name, a.Suite, a.WarpsPerCTA, a.Description)
 		}
 	case "profile":
-		err = profileCmd(rest, env.Pool, stdout, stderr)
+		err = profileCmd(rest, env, stdout, stderr)
+	case "serve":
+		err = serveCmd(rest, env, stdout, stderr)
 	case "lint":
 		err = lintCmd(rest, stdout, stderr)
 	case "advise":
@@ -177,7 +202,11 @@ global flags:
   -cache             share repeated profiling/timing cells in-process; output
                      stays byte-identical to an uncached run
   -cache-dir DIR     persist the cache in DIR across runs (implies -cache);
-                     versioned, corruption-tolerant (bad entries = misses)
+                     versioned, corruption-tolerant (bad entries = misses),
+                     safe to share between concurrent processes
+  -cache-budget N    bound the on-disk cache to N bytes; least-recently-used
+                     entries are evicted (counted separately from misses)
+  -memo-budget N     bound the in-process memoizer to N resolved entries
   -cache-stats       print "cache: ..." hit/miss summary to stderr at the end
 
 commands:
@@ -194,7 +223,81 @@ commands:
   figure7      cache bypassing on Pascal (24 KB unified cache)
   figure10     instrumentation overhead
   debugviews   code-/data-centric debugging views (Figures 8/9)
-  all          everything above (figures run concurrently; figure10 last, alone)`)
+  all          everything above (figures run concurrently; figure10 last, alone)
+  serve        HTTP daemon answering profile/lint/advise requests from the
+               shared cache: cudaadvisor serve [-addr host:port] [-width N]
+               [-depth N] [-drain D] [-allow-inject]; endpoints /healthz,
+               /statsz, /v1/profile, /v1/lint, /v1/advise`)
+}
+
+// serveCmd boots the profiling daemon on the run's Env: the worker
+// pool, cache, trace caps and keep-going policy all come from the
+// global flags, and the global -cell-timeout becomes the per-request
+// deadline (applied via the request context, so cancellation reaches
+// the GPU step guard and caching keeps working). It blocks until the
+// listener fails or a SIGTERM/SIGINT starts the graceful drain.
+func serveCmd(args []string, env experiments.Env, stdout, stderr io.Writer) error {
+	fl := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	addr := fl.String("addr", "127.0.0.1:7333", "listen address (host:port; port 0 picks a free port)")
+	width := fl.Int("width", 0, "concurrent requests admitted (0 = GOMAXPROCS)")
+	depth := fl.Int("depth", 16, "requests allowed to wait beyond -width; overflow sheds with 429")
+	drain := fl.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGTERM/SIGINT")
+	allowInject := fl.Bool("allow-inject", false, "honor per-request ?inject= chaos specs (kill= always refused)")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+	if env.Inject != nil {
+		return fmt.Errorf("serve refuses a global -inject (it would poison every response); use -allow-inject and per-request ?inject= specs")
+	}
+	if env.Cache == nil {
+		// Single-flight and the memoizer are what make the daemon cheap:
+		// default them on even without -cache/-cache-dir.
+		env.Cache = profcache.New("")
+	}
+	if *width <= 0 {
+		*width = runtime.GOMAXPROCS(0)
+	}
+
+	srv := serve.New(serve.Config{
+		Pool:        env.Pool,
+		Cache:       env.Cache,
+		Gate:        runner.NewGate(*width, *depth),
+		Timeout:     env.CellTimeout,
+		TraceCap:    env.TraceCap,
+		KeepGoing:   env.KeepGoing,
+		AllowInject: *allowInject,
+		Log:         stderr,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cudaadvisor serve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of draining
+		fmt.Fprintln(stdout, "cudaadvisor serve: draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		fmt.Fprintln(stdout, "cudaadvisor serve: drained")
+		return nil
+	}
 }
 
 // archConfig resolves the -arch flag value.
@@ -213,22 +316,14 @@ func archConfig(name string) (gpu.ArchConfig, error) {
 // hint: conservative tid.y/tid.z treatment).
 func analyzeTarget(target string) (*staticadvisor.ModuleResult, error) {
 	if app := apps.ByName(target); app != nil {
-		m, err := app.Module()
-		if err != nil {
-			return nil, err
-		}
-		return staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
+		return experiments.AnalyzeAppStatic(app)
 	}
 	if strings.HasSuffix(target, ".mir") {
 		src, err := os.ReadFile(target)
 		if err != nil {
 			return nil, err
 		}
-		m, err := irtext.Parse(target, string(src))
-		if err != nil {
-			return nil, err
-		}
-		return staticadvisor.Analyze(m)
+		return experiments.AnalyzeIRSource(target, string(src))
 	}
 	return nil, fmt.Errorf("unknown application %q (see 'cudaadvisor apps', or pass a .mir file)", target)
 }
@@ -247,36 +342,15 @@ func lintCmd(args []string, stdout, stderr io.Writer) error {
 	if fl.NArg() != 1 {
 		return fmt.Errorf("lint wants one application name or .mir file (see 'cudaadvisor apps')")
 	}
+	cfg, err := archConfig(*arch)
+	if err != nil {
+		return err
+	}
 	res, err := analyzeTarget(fl.Arg(0))
 	if err != nil {
 		return err
 	}
-	switch *format {
-	case "text":
-		report.StaticLint(stdout, res)
-		return nil
-	case "json":
-		cfg, err := archConfig(*arch)
-		if err != nil {
-			return err
-		}
-		return writeStaticReport(stdout, res, cfg, 0)
-	default:
-		return fmt.Errorf("unknown lint format %q (want text or json)", *format)
-	}
-}
-
-// writeStaticReport encodes a static-only findings report (no dynamic
-// evidence; every verdict static-only) in the advisor-report schema.
-func writeStaticReport(w io.Writer, res *staticadvisor.ModuleResult, cfg gpu.ArchConfig, scale int) error {
-	fs := findings.FromStatic(res, cfg.L1LineSize)
-	rep := findings.NewReport(res.Module.Name, cfg.Name, cfg.L1LineSize, scale, fs)
-	raw, err := findings.Encode(rep)
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(raw)
-	return err
+	return experiments.WriteStaticLint(stdout, res, cfg, *format)
 }
 
 // adviseCmd renders the ranked optimization report: for a benchmark
@@ -310,16 +384,7 @@ func adviseCmd(args []string, env experiments.Env, stdout, stderr io.Writer) err
 	if err != nil {
 		return err
 	}
-	switch *format {
-	case "json":
-		return writeStaticReport(stdout, res, cfg, 0)
-	case "text":
-		fs := findings.FromStatic(res, cfg.L1LineSize)
-		findings.WriteText(stdout, findings.NewReport(res.Module.Name, cfg.Name, cfg.L1LineSize, 0, fs))
-		return nil
-	default:
-		return fmt.Errorf("unknown advise format %q (want text or json)", *format)
-	}
+	return experiments.WriteStaticAdvise(stdout, res, cfg, *format)
 }
 
 // checkReportCmd validates advisor-report JSON files: each must decode
@@ -344,7 +409,7 @@ func checkReportCmd(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func profileCmd(args []string, pool *runner.Pool, stdout, stderr io.Writer) error {
+func profileCmd(args []string, env experiments.Env, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	arch := fs.String("arch", "kepler", "architecture: kepler or pascal")
@@ -361,51 +426,12 @@ func profileCmd(args []string, pool *runner.Pool, stdout, stderr io.Writer) erro
 	if app == nil {
 		return fmt.Errorf("unknown application %q", fs.Arg(0))
 	}
-	var cfg gpu.ArchConfig
-	switch *arch {
-	case "kepler":
-		cfg = gpu.KeplerK40c()
-	case "pascal":
-		cfg = gpu.PascalP100()
-	default:
-		return fmt.Errorf("unknown architecture %q", *arch)
-	}
-
-	opts := instrument.MemoryAndBlocks()
-	if *smem {
-		opts = instrument.MemorySharedAndBlocks()
-	}
-	adv := core.New(cfg, opts)
-	// A single profiling run has no cell-level fan-out, so the -j budget
-	// goes to intra-launch SM sharding instead (same output either way).
-	adv.Context().Options.Pool = pool
-	prog, err := app.Instrumented(adv.Opts)
+	cfg, err := archConfig(*arch)
 	if err != nil {
 		return err
 	}
-	if err := app.Run(adv.Context(), prog, *scale); err != nil {
-		return err
-	}
-
-	fmt.Fprintf(stdout, "profiled %s on %s: %d kernel instances\n\n", app.Name, cfg.Name, len(adv.Kernels()))
-	if *mode == "rd" || *mode == "all" {
-		rd := adv.ReuseDistance(analysis.DefaultElementReuse())
-		report.ReuseHistogram(stdout, app.Name, rd)
-		fmt.Fprintln(stdout)
-	}
-	if *mode == "md" || *mode == "all" {
-		report.MemDivDistribution(stdout, app.Name, adv.MemDivergence())
-		fmt.Fprintln(stdout)
-	}
-	if *mode == "bd" || *mode == "all" {
-		adv.WriteBranchDivergenceReport(stdout)
-		fmt.Fprintln(stdout)
-	}
-	if *smem {
-		adv.WriteSharedMemReport(stdout)
-		fmt.Fprintln(stdout)
-	}
-	fmt.Fprintln(stdout, "most memory-divergent sites (code-centric view):")
-	adv.WriteCodeCentric(stdout, 3)
-	return nil
+	env.Scale = *scale
+	return experiments.WriteProfileEnv(stdout, env, experiments.ProfileRequest{
+		App: app, Arch: cfg, Mode: *mode, Smem: *smem,
+	})
 }

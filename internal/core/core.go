@@ -58,6 +58,16 @@ func New(arch gpu.ArchConfig, opts instrument.Options) *Advisor {
 // Context returns the profiled host runtime for this session.
 func (a *Advisor) Context() *rt.Context { return a.ctx }
 
+// FromProfile wraps an already-collected profile in an analysis-only
+// session: every analyzer and report method works, but there is no
+// device and no runtime context — nothing further can be launched. It
+// is how callers that profile through the experiments layer (with its
+// cancellation, injection, and caching policies) reuse the façade's
+// reports.
+func FromProfile(arch gpu.ArchConfig, opts instrument.Options, p *profiler.Profiler) *Advisor {
+	return &Advisor{Arch: arch, Opts: opts, Profiler: p}
+}
+
 // Compile runs the instrumentation engine over the module (in place) and
 // returns the launchable program — the Figure 2 pipeline from bitcode to
 // fat binary.

@@ -127,6 +127,46 @@ func TestCacheSharesCellsAcrossFigures(t *testing.T) {
 	}
 }
 
+// TestDebugViewsCached: the Figures 8/9 cell caches its rendered text as
+// a "view" entry, so a warm rerun serves the bytes with zero misses —
+// this was the last profiled cell a warm `all` still had to re-run.
+func TestDebugViewsCached(t *testing.T) {
+	var want bytes.Buffer
+	if err := WriteCodeDataCentricEnv(&want, DefaultEnv(nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	cold := DefaultEnv(nil, 1)
+	cold.Cache = profcache.New(dir)
+	var coldOut bytes.Buffer
+	if err := WriteCodeDataCentricEnv(&coldOut, cold); err != nil {
+		t.Fatal(err)
+	}
+	if coldOut.String() != want.String() {
+		t.Errorf("cold cached views differ from uncached\n--- got\n%s--- want\n%s", coldOut.String(), want.String())
+	}
+	if s := cold.Cache.Stats(); s.Misses != 1 || s.Stores != 1 {
+		t.Errorf("cold stats = %+v, want the one view entry filled and stored", s)
+	}
+	if files := cellFiles(t, dir); len(files) != 1 {
+		t.Fatalf("cold run left %d entries, want 1", len(files))
+	}
+
+	warm := DefaultEnv(nil, 1)
+	warm.Cache = profcache.New(dir)
+	var warmOut bytes.Buffer
+	if err := WriteCodeDataCentricEnv(&warmOut, warm); err != nil {
+		t.Fatal(err)
+	}
+	if warmOut.String() != want.String() {
+		t.Errorf("warm cached views differ from uncached\n--- got\n%s--- want\n%s", warmOut.String(), want.String())
+	}
+	if s := warm.Cache.Stats(); s.Misses != 0 || s.DiskHits != 1 || s.BadEntries != 0 {
+		t.Errorf("warm stats = %+v, want the views served without profiling (0 misses)", s)
+	}
+}
+
 // TestInjectionBypassesCache: a fault-injected run must neither read nor
 // write the cache — its results are wrong by design.
 func TestInjectionBypassesCache(t *testing.T) {

@@ -1,0 +1,123 @@
+package experiments
+
+// The `profile` command core. The CLI and the serve daemon both render
+// a profile request through WriteProfileEnv, so a serve response is
+// byte-identical to the CLI invocation by construction — there is one
+// renderer, not two.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profcache"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/runner"
+)
+
+// ProfileRequest names one `profile` invocation: which application on
+// which architecture, which analysis sections to print, and whether the
+// shared-memory watch runs. Scale and every run-wide policy (timeouts,
+// injection, caching, trace caps) come from the Env.
+type ProfileRequest struct {
+	App  *apps.App
+	Arch gpu.ArchConfig
+	Mode string // "rd", "md", "bd", or "all"
+	Smem bool
+}
+
+// opts is the instrumentation the request needs: shared-memory tracing
+// only when the smem section is requested.
+func (r ProfileRequest) opts() instrument.Options {
+	if r.Smem {
+		return instrument.MemorySharedAndBlocks()
+	}
+	return instrument.MemoryAndBlocks()
+}
+
+// view names the cache entry. Smem already changes the key through
+// opts; Mode is render-only — same profile, different sections — so it
+// must be part of the view name or a "rd" rendering would be served for
+// an "all" request.
+func (r ProfileRequest) view() string {
+	v := "profile:" + r.Mode
+	if r.Smem {
+		v += "+smem"
+	}
+	return v
+}
+
+// WriteProfileEnv renders the `profile` report for one request under an
+// Env. The evaluation cell is named "profile/<arch>/<app>". The
+// rendered text is cached as a "view" entry when the cache is active,
+// so a warm request skips the simulation entirely.
+func WriteProfileEnv(w io.Writer, env Env, req ProfileRequest) error {
+	switch req.Mode {
+	case "rd", "md", "bd", "all":
+	default:
+		return fmt.Errorf("unknown profile mode %q (want rd, md, bd, or all)", req.Mode)
+	}
+	cell := "profile/" + req.Arch.Name + "/" + req.App.Name
+	opts := req.opts()
+	render := func(ctx context.Context) ([]byte, error) {
+		p, err := runner.DoCtx(ctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
+			return env.profileCell(ctx, cell, req.App, req.Arch, opts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var b bytes.Buffer
+		renderProfile(&b, req, p)
+		return b.Bytes(), nil
+	}
+	cctx, cancel := env.cellCtx(nil)
+	defer cancel()
+	var out []byte
+	var err error
+	if env.cacheActive() {
+		key := profcache.ViewKey(req.App, req.Arch, opts, env.Scale, env.TraceCap, req.view())
+		out, err = env.Cache.Bytes(cctx, key, render)
+	} else {
+		out, err = render(cctx)
+	}
+	if err != nil {
+		if env.KeepGoing {
+			fmt.Fprint(w, failedCell(cell, err))
+		}
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}
+
+// renderProfile writes the report sections for a completed profile —
+// exactly the bytes the caller publishes (and caches).
+func renderProfile(w io.Writer, req ProfileRequest, p *profiler.Profiler) {
+	adv := core.FromProfile(req.Arch, req.opts(), p)
+	fmt.Fprintf(w, "profiled %s on %s: %d kernel instances\n\n", req.App.Name, req.Arch.Name, len(adv.Kernels()))
+	if req.Mode == "rd" || req.Mode == "all" {
+		report.ReuseHistogram(w, req.App.Name, adv.ReuseDistance(analysis.DefaultElementReuse()))
+		fmt.Fprintln(w)
+	}
+	if req.Mode == "md" || req.Mode == "all" {
+		report.MemDivDistribution(w, req.App.Name, adv.MemDivergence())
+		fmt.Fprintln(w)
+	}
+	if req.Mode == "bd" || req.Mode == "all" {
+		adv.WriteBranchDivergenceReport(w)
+		fmt.Fprintln(w)
+	}
+	if req.Smem {
+		adv.WriteSharedMemReport(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "most memory-divergent sites (code-centric view):")
+	adv.WriteCodeCentric(w, 3)
+}

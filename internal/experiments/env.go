@@ -55,9 +55,10 @@ type Env struct {
 
 	// Cache, when non-nil, serves repeated profiling and cycle-model cells
 	// from a content-addressed cache (see internal/profcache) instead of
-	// re-running them. It is consulted only when the run is unperturbed:
-	// fault injection and per-cell timeouts bypass it entirely (see
-	// cacheActive), as do cells that need raw traces (the debug views) or
+	// re-running them; rendered-text cells (the debug views, advise
+	// reports) cache their output bytes as "view" entries. It is consulted
+	// only when the run is unperturbed: fault injection and per-cell
+	// timeouts bypass it entirely (see cacheActive), as do cells that need
 	// wall-clock time (Figure 10).
 	Cache *profcache.Cache
 }

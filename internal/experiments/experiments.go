@@ -613,14 +613,37 @@ func WriteCodeDataCentric(w io.Writer, pool *runner.Pool, scale int) error {
 // WriteCodeDataCentricEnv renders Figures 8/9 under an Env. The single
 // evaluation cell is named "debugviews/bfs"; with KeepGoing a failure
 // becomes the annotation line in place of both views.
+//
+// The views need the raw trace, which the cache's analysis bundle does
+// not carry — so what is cached is the rendered text itself, as a
+// "view" entry keyed on exactly the inputs the rendering depends on.
+// A warm run serves the bytes without profiling the cell at all.
 func WriteCodeDataCentricEnv(w io.Writer, env Env) error {
 	const cell = "debugviews/bfs"
 	a := apps.ByName("bfs")
+	cfg := gpu.KeplerK40c()
+	opts := instrument.Options{Memory: true}
+	render := func(ctx context.Context) ([]byte, error) {
+		p, err := runner.DoCtx(ctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
+			return env.profileCell(ctx, cell, a, cfg, opts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var b bytes.Buffer
+		renderDebugViews(&b, p, cfg.L1LineSize)
+		return b.Bytes(), nil
+	}
 	cctx, cancel := env.cellCtx(nil)
 	defer cancel()
-	p, err := runner.DoCtx(cctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
-		return env.profileCell(ctx, cell, a, gpu.KeplerK40c(), instrument.Options{Memory: true})
-	})
+	var out []byte
+	var err error
+	if env.cacheActive() {
+		key := profcache.ViewKey(a, cfg, opts, env.Scale, env.TraceCap, "debugviews")
+		out, err = env.Cache.Bytes(cctx, key, render)
+	} else {
+		out, err = render(cctx)
+	}
 	if err != nil {
 		if env.KeepGoing {
 			fmt.Fprintln(w, "=== Figures 8/9: code- and data-centric views ===")
@@ -628,7 +651,15 @@ func WriteCodeDataCentricEnv(w io.Writer, env Env) error {
 		}
 		return err
 	}
-	md := MergedMemDiv(p, gpu.KeplerK40c().L1LineSize)
+	_, err = w.Write(out)
+	return err
+}
+
+// renderDebugViews renders both debugging views from a completed
+// profile. It writes exactly the bytes the caller publishes (and
+// caches), so everything presentation-level lives here.
+func renderDebugViews(w io.Writer, p *profiler.Profiler, lineSize int) {
+	md := MergedMemDiv(p, lineSize)
 	fmt.Fprintln(w, "=== Figure 8: code-centric view (most memory-divergent sites) ===")
 	report.CodeCentric(w, p, md, 3)
 
@@ -636,7 +667,7 @@ func WriteCodeDataCentricEnv(w io.Writer, env Env) error {
 	sites := md.Sites()
 	if len(sites) == 0 {
 		fmt.Fprintln(w, "(no memory-divergent sites recorded)")
-		return nil
+		return
 	}
 	// Find a memory record at the worst site and chase its address.
 	// Records whose active mask is empty carry no lane addresses and are
@@ -651,11 +682,10 @@ func WriteCodeDataCentricEnv(w io.Writer, env Env) error {
 			for l := 0; l < 32; l++ {
 				if m.Mask&(1<<uint(l)) != 0 {
 					report.DataCentric(w, p, m.Addrs[l])
-					return nil
+					return
 				}
 			}
 		}
 	}
 	fmt.Fprintf(w, "(no trace record with active lanes matches the worst site %s)\n", worst.Loc)
-	return nil
 }

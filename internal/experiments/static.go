@@ -1,0 +1,83 @@
+package experiments
+
+// The static (no-simulation) command cores behind `lint` and the .mir
+// branch of `advise`. The CLI and the serve daemon share these, so an
+// uploaded .mir module gets byte-identical output to the same file on
+// the command line.
+
+import (
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/findings"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/irtext"
+	"cudaadvisor/internal/report"
+	"cudaadvisor/internal/staticadvisor"
+)
+
+// AnalyzeAppStatic runs the static advisor over a benchmark
+// application's device code under its launch-layout hint.
+func AnalyzeAppStatic(app *apps.App) (*staticadvisor.ModuleResult, error) {
+	m, err := app.Module()
+	if err != nil {
+		return nil, err
+	}
+	return staticadvisor.AnalyzeLayout(m, staticadvisor.Layout{Block: app.BlockDims})
+}
+
+// AnalyzeIRSource parses textual IR and runs the static advisor with no
+// layout hint (conservative tid.y/tid.z treatment). name labels parse
+// errors: a file path at the CLI, the upload name under serve.
+func AnalyzeIRSource(name, src string) (*staticadvisor.ModuleResult, error) {
+	m, err := irtext.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return staticadvisor.Analyze(m)
+}
+
+// WriteStaticLint renders a static analysis as the human-readable lint
+// listing ("text") or the versioned advisor-report schema with static
+// evidence only ("json").
+func WriteStaticLint(w io.Writer, res *staticadvisor.ModuleResult, cfg gpu.ArchConfig, format string) error {
+	switch format {
+	case "text":
+		report.StaticLint(w, res)
+		return nil
+	case "json":
+		return WriteStaticReport(w, res, cfg, 0)
+	default:
+		return fmt.Errorf("unknown lint format %q (want text or json)", format)
+	}
+}
+
+// WriteStaticReport encodes a static-only findings report (no dynamic
+// evidence; every verdict static-only) in the advisor-report schema.
+func WriteStaticReport(w io.Writer, res *staticadvisor.ModuleResult, cfg gpu.ArchConfig, scale int) error {
+	fs := findings.FromStatic(res, cfg.L1LineSize)
+	rep := findings.NewReport(res.Module.Name, cfg.Name, cfg.L1LineSize, scale, fs)
+	raw, err := findings.Encode(rep)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// WriteStaticAdvise renders a static-only advise report — a .mir target
+// has no profile to join — in the requested format. Both formats are
+// views of the same report the dynamic path produces.
+func WriteStaticAdvise(w io.Writer, res *staticadvisor.ModuleResult, cfg gpu.ArchConfig, format string) error {
+	switch format {
+	case "json":
+		return WriteStaticReport(w, res, cfg, 0)
+	case "text":
+		fs := findings.FromStatic(res, cfg.L1LineSize)
+		findings.WriteText(w, findings.NewReport(res.Module.Name, cfg.Name, cfg.L1LineSize, 0, fs))
+		return nil
+	default:
+		return fmt.Errorf("unknown advise format %q (want text or json)", format)
+	}
+}

@@ -25,6 +25,7 @@ package faultinject
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"strconv"
 	"strings"
 
@@ -80,6 +81,14 @@ type Config struct {
 	// PanicCell panics at the start of every cell whose name contains
 	// this substring (empty = off), exercising the runner's isolation.
 	PanicCell string
+
+	// KillCell hard-exits the whole process (exit code 3) at the start
+	// of every cell whose name contains this substring (empty = off).
+	// Unlike a panic, os.Exit skips deferred cleanup — this is the
+	// simulated kill -9 behind the cache's dead-writer tests: the
+	// victim leaves its cross-process claim file behind and the next
+	// reader must take it over. Never enabled in the serve daemon.
+	KillCell string
 }
 
 // Parse builds a Config from a comma-separated key=value spec, e.g.
@@ -131,6 +140,8 @@ func Parse(spec string) (*Config, error) {
 			cfg.OverflowCap = int(n)
 		case "panic":
 			cfg.PanicCell = val
+		case "kill":
+			cfg.KillCell = val
 		default:
 			return nil, fmt.Errorf("faultinject: unknown key %q", key)
 		}
@@ -191,6 +202,18 @@ func (in *Injector) MaybePanic() {
 		return
 	}
 	panic(fmt.Sprintf("faultinject: injected panic in cell %s", in.cell))
+}
+
+// MaybeKill terminates the process with exit code 3 if this cell is a
+// configured kill target. os.Exit runs no deferred functions, so
+// whatever the caller holds — most importantly a cross-process cache
+// claim mid-fill — is left behind exactly as a kill -9 would leave it.
+func (in *Injector) MaybeKill() {
+	if in == nil || in.cfg.KillCell == "" || !strings.Contains(in.cell, in.cfg.KillCell) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "faultinject: injected kill in cell %s\n", in.cell)
+	os.Exit(3)
 }
 
 // Listener wraps l so the cell's kernel hooks and device allocations pass

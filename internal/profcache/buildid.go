@@ -1,0 +1,54 @@
+// Build-derived cache versioning. The old design versioned the on-disk
+// store with a hand-bumped constant: every change to the simulator, the
+// instrumentation, an analysis, or the entry encoding was supposed to
+// remember to bump it, and a forgotten bump silently served stale
+// results. The replacement derives the version from the binary itself —
+// a digest of the running executable, which Go's build system changes
+// whenever any package in the binary changes — and folds it into every
+// cache key, so a rebuild orphans old entries automatically (they age
+// out under the eviction budget) and no human has to remember anything.
+package profcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"sync"
+)
+
+var (
+	buildOnce    sync.Once
+	buildVersion string
+)
+
+// BuildVersion returns the build-derived cache version of the running
+// binary: a short hex digest of the executable image. Two processes
+// built from identical sources agree on it (Go builds are reproducible
+// for a fixed toolchain and source tree), so a fleet of identical
+// binaries shares one cache namespace, while any rebuild that changed
+// any package — simulator, analyses, encodings — yields a new version
+// and therefore new keys. If the executable cannot be read the version
+// degrades to "unknown": caching still works within that lifetime's
+// namespace, it just cannot prove cross-build freshness.
+func BuildVersion() string {
+	buildOnce.Do(func() { buildVersion = computeBuildVersion() })
+	return buildVersion
+}
+
+func computeBuildVersion() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

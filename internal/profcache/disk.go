@@ -1,13 +1,18 @@
 // On-disk store: one file per key under the cache directory, named by
-// the key's content address. Each file is a one-line header (store name,
-// version, payload checksum) followed by a JSON payload that embeds the
+// the key's content address. Each file is a one-line header (store
+// name, payload checksum) followed by a JSON payload that embeds the
 // canonical key string, so a load verifies — in order — the header
-// format, the store version, the payload checksum, the JSON shape, and
-// finally that the entry really belongs to the requested key (guarding
-// against renamed or colliding files). Any failure at any step makes the
-// entry a counted miss, never an error: a corrupt cache can only cost
-// time. Writes go through a temp file and an atomic rename so concurrent
-// processes sharing a directory never observe half-written entries.
+// format, the payload checksum, the JSON shape, and finally that the
+// entry really belongs to the requested key (guarding against renamed
+// or colliding files). Any failure at any step makes the entry a
+// counted miss, never an error — and heals the store by removing the
+// bad file, so the refill repairs it in place and later readers pay
+// nothing. There is no stored format version: the binary's build
+// version is folded into every key (buildid.go), so a rebuild
+// addresses a fresh namespace and stale generations simply stop being
+// referenced. Writes go through a temp file and an atomic rename so
+// concurrent processes sharing a directory never observe half-written
+// entries.
 package profcache
 
 import (
@@ -28,19 +33,27 @@ import (
 	"cudaadvisor/internal/ir"
 )
 
-// storeVersion is the on-disk format version. Bump it whenever the
-// simulator, instrumentation, analyses, or this encoding change meaning:
-// the key hashes the profiled program and its configuration, but the
-// profiler itself is versioned here, and a mismatch turns every old
-// entry into a miss.
-const storeVersion = 1
-
-// storeMagic heads every entry file: "<magic> v<version> <payload-sha256>\n".
+// storeMagic heads every entry file: "<magic> <payload-sha256>\n".
+// There is deliberately no version field here — versioning lives in the
+// key (Key.Build), which the filename and the embedded canonical key
+// both carry, so a semantic change to any producer re-addresses the
+// store instead of requiring a hand-bumped constant.
 const storeMagic = "cudaadvisor-profcache"
 
 // entryPath returns the store file for a key.
 func (c *Cache) entryPath(key Key) string {
 	return filepath.Join(c.dir, key.ID()+".cell")
+}
+
+// badEntry counts a rejected on-disk entry and heals the store by
+// removing it: the caller is about to refill, and until it does, every
+// other reader would pay the same verification failure. Removal is
+// best effort; only a successful heal is counted.
+func (c *Cache) badEntry(key Key) {
+	c.badEntries.Add(1)
+	if err := os.Remove(c.entryPath(key)); err == nil {
+		c.heals.Add(1)
+	}
 }
 
 // profilePayload is the stable serialized form of a profile entry.
@@ -105,12 +118,12 @@ type cyclesPayload struct {
 	MaxCTAs int
 }
 
-// advisePayload is the stable serialized form of an advise entry: the
-// canonical report bytes (base64 under encoding/json), so a warm load
-// returns byte-identical report output.
-type advisePayload struct {
-	Key    string
-	Report []byte
+// bytesPayload is the stable serialized form of a bytes-kind entry —
+// an encoded advisor report or a rendered debug view (base64 under
+// encoding/json) — so a warm load returns byte-identical output.
+type bytesPayload struct {
+	Key  string
+	Data []byte
 }
 
 func encodeMemDiv(r *analysis.MemDivResult) memDivPayload {
@@ -217,12 +230,12 @@ func (c *Cache) loadProfile(key Key) (*Results, bool) {
 	var p profilePayload
 	if err := json.Unmarshal(raw, &p); err != nil || p.Key != key.Canonical() ||
 		p.ReuseElem == nil || p.ReuseLine == nil {
-		c.badEntries.Add(1)
+		c.badEntry(key)
 		return nil, false
 	}
 	md, err := decodeMemDiv(p.MemDiv)
 	if err != nil {
-		c.badEntries.Add(1)
+		c.badEntry(key)
 		return nil, false
 	}
 	return &Results{
@@ -242,24 +255,25 @@ func (c *Cache) loadCycles(key Key) (CycleStats, bool) {
 	}
 	var p cyclesPayload
 	if err := json.Unmarshal(raw, &p); err != nil || p.Key != key.Canonical() {
-		c.badEntries.Add(1)
+		c.badEntry(key)
 		return CycleStats{}, false
 	}
 	return CycleStats{Cycles: p.Cycles, MaxCTAs: p.MaxCTAs}, true
 }
 
-// loadAdvise reads and verifies the disk entry for an advise key.
-func (c *Cache) loadAdvise(key Key) ([]byte, bool) {
+// loadBytes reads and verifies the disk entry for a bytes-kind key
+// (advise reports, rendered views).
+func (c *Cache) loadBytes(key Key) ([]byte, bool) {
 	raw, ok := c.loadPayload(key)
 	if !ok {
 		return nil, false
 	}
-	var p advisePayload
-	if err := json.Unmarshal(raw, &p); err != nil || p.Key != key.Canonical() || len(p.Report) == 0 {
-		c.badEntries.Add(1)
+	var p bytesPayload
+	if err := json.Unmarshal(raw, &p); err != nil || p.Key != key.Canonical() || len(p.Data) == 0 {
+		c.badEntry(key)
 		return nil, false
 	}
-	return p.Report, true
+	return p.Data, true
 }
 
 // loadPayload reads an entry file and returns its checksum-verified
@@ -272,7 +286,7 @@ func (c *Cache) loadPayload(key Key) ([]byte, bool) {
 	f, err := os.Open(c.entryPath(key))
 	if err != nil {
 		if !os.IsNotExist(err) {
-			c.badEntries.Add(1)
+			c.badEntry(key)
 		}
 		return nil, false
 	}
@@ -280,23 +294,22 @@ func (c *Cache) loadPayload(key Key) ([]byte, bool) {
 	r := bufio.NewReader(f)
 	header, err := r.ReadString('\n')
 	if err != nil {
-		c.badEntries.Add(1)
+		c.badEntry(key)
 		return nil, false
 	}
 	fields := strings.Fields(header)
-	if len(fields) != 3 || fields[0] != storeMagic ||
-		fields[1] != fmt.Sprintf("v%d", storeVersion) {
-		c.badEntries.Add(1)
+	if len(fields) != 2 || fields[0] != storeMagic {
+		c.badEntry(key)
 		return nil, false
 	}
 	payload, err := io.ReadAll(r)
 	if err != nil {
-		c.badEntries.Add(1)
+		c.badEntry(key)
 		return nil, false
 	}
 	sum := sha256.Sum256(payload)
-	if hex.EncodeToString(sum[:]) != fields[2] {
-		c.badEntries.Add(1)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		c.badEntry(key)
 		return nil, false
 	}
 	return payload, true
@@ -327,12 +340,12 @@ func (c *Cache) storeCycles(key Key, cyc CycleStats) {
 	c.storePayload(key, cyclesPayload{Key: key.Canonical(), Cycles: cyc.Cycles, MaxCTAs: cyc.MaxCTAs})
 }
 
-// storeAdvise serializes an advise entry to disk.
-func (c *Cache) storeAdvise(key Key, rep []byte) {
+// storeBytes serializes a bytes-kind entry to disk.
+func (c *Cache) storeBytes(key Key, data []byte) {
 	if c.dir == "" {
 		return
 	}
-	c.storePayload(key, advisePayload{Key: key.Canonical(), Report: rep})
+	c.storePayload(key, bytesPayload{Key: key.Canonical(), Data: data})
 }
 
 // storePayload writes "<header>\n<json>" atomically (temp + rename).
@@ -344,7 +357,7 @@ func (c *Cache) storePayload(key Key, payload any) {
 	}
 	sum := sha256.Sum256(raw)
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "%s v%d %s\n", storeMagic, storeVersion, hex.EncodeToString(sum[:]))
+	fmt.Fprintf(&buf, "%s %s\n", storeMagic, hex.EncodeToString(sum[:]))
 	buf.Write(raw)
 	if err := os.MkdirAll(c.dir, 0o777); err != nil {
 		c.storeErrors.Add(1)

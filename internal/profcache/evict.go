@@ -1,0 +1,94 @@
+// Size-budgeted eviction for the on-disk store. A long-running daemon
+// (or a fleet of CLI runs sharing one -cache-dir) accretes entries
+// forever without a bound; SetBudget caps the total size of published
+// entries and evicts least-recently-used ones — recency approximated by
+// mtime, which loads refresh — until the store fits again.
+//
+// The evictor is safe against every concurrent actor by construction:
+//
+//   - a reader mid-load either opened the file before the eviction
+//     (POSIX keeps the inode alive until the descriptor closes) or sees
+//     a clean ENOENT, which is an ordinary silent miss;
+//   - a writer mid-publish is invisible — entries appear only via the
+//     atomic rename, so the evictor never sees (and can never serve or
+//     delete) a half-written entry, only whole ones and .tmp- orphans;
+//   - .tmp- files older than the claim TTL are orphans of dead writers
+//     and are swept, closing the one leak a kill -9 can cause.
+package profcache
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SetBudget caps the on-disk store at budget bytes of published entries
+// (0 = unlimited, the default). The budget is enforced after every
+// store, evicting oldest-mtime entries first.
+func (c *Cache) SetBudget(budget int64) { c.budget = budget }
+
+// maybeEvict enforces the size budget and sweeps dead writers' temp
+// files. Everything here is best effort: eviction failures cost disk
+// space, never correctness, because entries are content-addressed and
+// rebuildable.
+func (c *Cache) maybeEvict() {
+	if c.dir == "" {
+		return
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type cell struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var cells []cell
+	var total int64
+	for _, de := range ents {
+		name := de.Name()
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(name, ".tmp-") {
+			if time.Since(fi.ModTime()) > c.claimTTL() {
+				_ = os.Remove(filepath.Join(c.dir, name))
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".cell") {
+			continue
+		}
+		cells = append(cells, cell{filepath.Join(c.dir, name), fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	if c.budget <= 0 || total <= c.budget {
+		return
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if !cells[i].mtime.Equal(cells[j].mtime) {
+			return cells[i].mtime.Before(cells[j].mtime)
+		}
+		return cells[i].path < cells[j].path // total order for equal stamps
+	})
+	for _, v := range cells {
+		if total <= c.budget {
+			break
+		}
+		if err := os.Remove(v.path); err == nil {
+			total -= v.size
+			c.evictions.Add(1)
+		}
+	}
+}
+
+// touchEntry refreshes an entry's mtime after a successful load so the
+// LRU order tracks use, not just creation. Best effort.
+func (c *Cache) touchEntry(key Key) {
+	now := time.Now()
+	_ = os.Chtimes(c.entryPath(key), now, now)
+}

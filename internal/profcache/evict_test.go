@@ -1,0 +1,188 @@
+package profcache_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cudaadvisor/internal/profcache"
+)
+
+func fillN(n int) func(context.Context) ([]byte, error) {
+	return func(context.Context) ([]byte, error) {
+		body := bytes.Repeat([]byte{byte('a' + n)}, 512)
+		return append(body, []byte(fmt.Sprintf(" entry %d\n", n))...), nil
+	}
+}
+
+// TestBudgetEviction: with a size budget set, storing past the budget
+// evicts the least-recently-used entries (mtime order), counts them as
+// evictions — not misses or bad entries — and never disturbs entries
+// still inside the budget. Evicted entries are simply refilled on next
+// use; they are never served partially.
+func TestBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := profcache.New(dir)
+	ctx := context.Background()
+
+	// Two entries, no budget yet.
+	for n := 1; n <= 2; n++ {
+		if _, err := c.Bytes(ctx, contentionKey(n), fillN(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.cell"))
+	if len(files) != 2 {
+		t.Fatalf("want 2 entries, got %v", files)
+	}
+	var total int64
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+
+	// Make entry 1 clearly the oldest, then set a budget two entries
+	// fill exactly: the third store must push out entry 1 and only it.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, contentionKey(1).ID()+".cell"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	c.SetBudget(total + 16)
+	if _, err := c.Bytes(ctx, contentionKey(3), fillN(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, contentionKey(1).ID()+".cell")); !os.IsNotExist(err) {
+		t.Errorf("oldest entry survived the budget (stat err = %v)", err)
+	}
+	for n := 2; n <= 3; n++ {
+		if _, err := os.Stat(filepath.Join(dir, contentionKey(n).ID()+".cell")); err != nil {
+			t.Errorf("entry %d inside the budget was evicted: %v", n, err)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Misses != 3 || s.BadEntries != 0 {
+		t.Errorf("stats = %+v; eviction must not masquerade as misses or bad entries", s)
+	}
+
+	// The evicted entry refills cleanly; the survivors stay warm. (No
+	// budget on this pass: a 3-entry working set under a 2-entry budget
+	// would thrash by design.)
+	warm := profcache.New(dir)
+	for n := 1; n <= 3; n++ {
+		want, _ := fillN(n)(ctx)
+		got, err := warm.Bytes(ctx, contentionKey(n), fillN(n))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-eviction read of entry %d: %v", n, err)
+		}
+	}
+	if s := warm.Stats(); s.Misses != 1 || s.DiskHits != 2 || s.BadEntries != 0 {
+		t.Errorf("post-eviction stats = %+v, want exactly the evicted entry refilled", s)
+	}
+}
+
+// TestLoadRefreshesLRU: a disk hit touches the entry's mtime, so hot
+// entries survive eviction even if they were written first.
+func TestLoadRefreshesLRU(t *testing.T) {
+	dir := t.TempDir()
+	c := profcache.New(dir)
+	ctx := context.Background()
+	for n := 1; n <= 2; n++ {
+		if _, err := c.Bytes(ctx, contentionKey(n), fillN(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	files, _ := filepath.Glob(filepath.Join(dir, "*.cell"))
+	for _, f := range files {
+		fi, _ := os.Stat(f)
+		total += fi.Size()
+	}
+	// Both look old; a warm read of entry 1 must rescue it.
+	old := time.Now().Add(-time.Hour)
+	for n := 1; n <= 2; n++ {
+		if err := os.Chtimes(filepath.Join(dir, contentionKey(n).ID()+".cell"), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := profcache.New(dir)
+	warm.SetBudget(total + 16)
+	if _, err := warm.Bytes(ctx, contentionKey(1), fillN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Bytes(ctx, contentionKey(3), fillN(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, contentionKey(1).ID()+".cell")); err != nil {
+		t.Errorf("recently read entry was evicted: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, contentionKey(2).ID()+".cell")); !os.IsNotExist(err) {
+		t.Errorf("stale entry survived (stat err = %v)", err)
+	}
+}
+
+// TestStaleClaimTakeover (single-process): a claim file nobody
+// heartbeats — a dead writer — is taken over after the TTL instead of
+// blocking the fill forever.
+func TestStaleClaimTakeover(t *testing.T) {
+	dir := t.TempDir()
+	c := profcache.New(dir)
+	c.SetClaimTTL(50 * time.Millisecond)
+	key := contentionKey(1)
+	claim := filepath.Join(dir, key.ID()+".claim")
+	if err := os.WriteFile(claim, []byte("pid 0\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(claim, old, old); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := fillN(1)(context.Background())
+	got, err := c.Bytes(context.Background(), key, fillN(1))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("fill under stale claim = %q, %v", got, err)
+	}
+	if s := c.Stats(); s.Takeovers != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 takeover and 1 fill", s)
+	}
+	if _, err := os.Stat(claim); !os.IsNotExist(err) {
+		t.Errorf("stale claim not cleaned up (stat err = %v)", err)
+	}
+}
+
+// TestMemoBudget: the in-process memoizer stays bounded under a budget;
+// evicted results are served again from disk, never re-run.
+func TestMemoBudget(t *testing.T) {
+	dir := t.TempDir()
+	c := profcache.New(dir)
+	c.SetMemoBudget(2)
+	ctx := context.Background()
+	for n := 1; n <= 5; n++ {
+		if _, err := c.Bytes(ctx, contentionKey(n), fillN(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All five again: at most 2 memo hits are possible, the rest must
+	// come off disk — and none may re-fill.
+	for n := 1; n <= 5; n++ {
+		want, _ := fillN(n)(ctx)
+		got, err := c.Bytes(ctx, contentionKey(n), func(context.Context) ([]byte, error) {
+			return nil, fmt.Errorf("budgeted rerun must not fill")
+		})
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("rerun of entry %d under memo budget: %v", n, err)
+		}
+	}
+	if s := c.Stats(); s.Misses != 5 || s.MemoHits+s.DiskHits != 5 {
+		t.Errorf("stats = %+v, want 5 fills then 5 memo/disk hits", s)
+	}
+}

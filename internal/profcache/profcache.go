@@ -19,19 +19,24 @@
 //     instead of profiling the same cell twice, and every requester gets
 //     the same result object;
 //   - an optional on-disk store (New with a non-empty dir): entries are
-//     a stable, versioned, checksummed encoding of the per-cell analysis
-//     results, written atomically (temp file + rename). Corrupt,
-//     truncated or version-mismatched entries are treated as misses,
-//     never as errors — a damaged cache directory can only cost time.
+//     a stable, checksummed encoding of the per-cell analysis results,
+//     written atomically (temp file + rename) and published under a
+//     cross-process claim protocol (lock.go) so a fleet of processes —
+//     CLI runs and serve daemons alike — sharing one directory fills
+//     each key exactly once. Corrupt or truncated entries are treated
+//     as misses, never as errors, and are healed (removed) on sight so
+//     the refill repairs the store in place. The store self-invalidates
+//     across rebuilds: every key folds in the binary's build version
+//     (buildid.go), and a size budget with LRU eviction (evict.go) ages
+//     the orphaned generations out.
 //
 // What is cached is the analysis bundle (reuse distance under both
 // models, memory divergence at the architecture's line size, branch
-// divergence) and the cycle-model measurements — not the raw traces.
-// Consumers that need the raw trace or the calling-context tree (the
-// code-/data-centric debug views) must profile for real and bypass the
-// cache, as must anything non-deterministic (the wall-clock overhead
-// study) or perturbed (fault injection, per-cell timeouts); see
-// experiments.Env for the bypass policy.
+// divergence), the cycle-model measurements, and rendered byte entries
+// (encoded advisor reports, debug views) — not the raw traces.
+// Anything non-deterministic (the wall-clock overhead study) or
+// perturbed (fault injection, per-cell timeouts) must bypass the cache;
+// see experiments.Env for the bypass policy.
 package profcache
 
 import (
@@ -41,6 +46,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/apps"
@@ -50,13 +56,15 @@ import (
 )
 
 // Key identifies one cacheable cell. The zero value is not valid; build
-// keys with ProfileKey, CyclesKey or AdviseKey so every determining
-// input is captured. Keys are content-addressed: App carries the
-// application name, IR the digest of its device code, and Arch/Opts
-// canonical renderings of the full configuration structs, so changing
-// any field of any input changes the key.
+// keys with ProfileKey, CyclesKey, AdviseKey or ViewKey so every
+// determining input is captured. Keys are content-addressed: App
+// carries the application name, IR the digest of its device code,
+// Arch/Opts canonical renderings of the full configuration structs, and
+// Build the binary's build version — so changing any field of any
+// input, or rebuilding the binary, changes the key.
 type Key struct {
-	Kind     string // "profile", "cycles" or "advise"
+	Kind     string // "profile", "cycles", "advise" or "view"
+	Build    string // build-derived cache version (BuildVersion())
 	App      string
 	IR       string // hex digest of the application's device IR text
 	Arch     string // canonical rendering of the gpu.ArchConfig
@@ -65,6 +73,7 @@ type Key struct {
 	Scale    int
 	TraceCap int    // profile only: trace-buffer bound (0 = unbounded)
 	Schema   string // advise only: the report schema version the entry holds
+	View     string // view only: which rendered view the entry holds
 }
 
 // ProfileKey is the key of one instrumented profiling run. The key is
@@ -74,6 +83,7 @@ type Key struct {
 func ProfileKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale, traceCap int) Key {
 	return Key{
 		Kind:     "profile",
+		Build:    BuildVersion(),
 		App:      app.Name,
 		IR:       irFingerprint(app),
 		Arch:     fmt.Sprintf("%+v", cfg),
@@ -88,6 +98,7 @@ func ProfileKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scal
 func CyclesKey(app *apps.App, cfg gpu.ArchConfig, l1Warps, scale int) Key {
 	return Key{
 		Kind:    "cycles",
+		Build:   BuildVersion(),
 		App:     app.Name,
 		IR:      irFingerprint(app),
 		Arch:    fmt.Sprintf("%+v", cfg),
@@ -107,9 +118,22 @@ func AdviseKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale
 	return k
 }
 
-// irFingerprint digests the application's device code. The textual IR is
-// the program; the host driver is Go code and therefore covered by the
-// store version, not the key.
+// ViewKey is the key of one rendered debug view (the code-/data-centric
+// CCT and per-object access-map dumps): the exact bytes the view
+// printer emits for a profiling run, named by view. Views are cached as
+// rendered text because their inputs — the calling-context tree and the
+// raw object access log — are exactly what the analysis bundle drops to
+// stay small.
+func ViewKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale, traceCap int, view string) Key {
+	k := ProfileKey(app, cfg, opts, scale, traceCap)
+	k.Kind = "view"
+	k.View = view
+	return k
+}
+
+// irFingerprint digests the application's device code. The textual IR
+// is the program; the host driver is Go code and therefore covered by
+// the build version folded into every key, not by the fingerprint.
 func irFingerprint(app *apps.App) string {
 	h := sha256.New()
 	h.Write([]byte(app.SourceFile))
@@ -120,8 +144,8 @@ func irFingerprint(app *apps.App) string {
 
 // Canonical renders the key as an unambiguous string: the preimage of ID.
 func (k Key) Canonical() string {
-	return fmt.Sprintf("kind=%s|app=%q|ir=%s|arch=%q|opts=%q|l1warps=%d|scale=%d|tracecap=%d|schema=%q",
-		k.Kind, k.App, k.IR, k.Arch, k.Opts, k.L1Warps, k.Scale, k.TraceCap, k.Schema)
+	return fmt.Sprintf("kind=%s|build=%s|app=%q|ir=%s|arch=%q|opts=%q|l1warps=%d|scale=%d|tracecap=%d|schema=%q|view=%q",
+		k.Kind, k.Build, k.App, k.IR, k.Arch, k.Opts, k.L1Warps, k.Scale, k.TraceCap, k.Schema, k.View)
 }
 
 // ID is the content address: the hex SHA-256 of the canonical key.
@@ -139,17 +163,23 @@ type CycleStats struct {
 	MaxCTAs int
 }
 
-// Snapshot is a point-in-time copy of the cache counters. All counts are
-// deterministic for a fixed request set and disk state: single-flight
-// makes fills (“misses”) equal the number of unique keys not already on
-// disk, regardless of worker count or completion order.
+// Snapshot is a point-in-time copy of the cache counters. The request
+// counts are deterministic for a fixed request set and disk state:
+// single-flight makes fills (“misses”) equal the number of unique keys
+// not already on disk, regardless of worker count or completion order.
+// Evictions, heals and takeovers are janitorial counts — they never
+// feed back into hit/miss accounting, so the warm-run "0 misses"
+// invariant stays meaningful under a size budget.
 type Snapshot struct {
 	MemoHits    int64 // served from the in-process memoizer (incl. single-flight joins)
 	DiskHits    int64 // deserialized from the on-disk store
 	Misses      int64 // filled by running the cell
-	BadEntries  int64 // on-disk entries rejected (corrupt/truncated/version mismatch), counted as misses
+	BadEntries  int64 // on-disk entries rejected (corrupt/truncated/mismatched), counted as misses
 	Stores      int64 // entries written to the on-disk store
 	StoreErrors int64 // failed store attempts (logged in stats only, never fatal)
+	Evictions   int64 // entries removed to satisfy the size budget
+	Heals       int64 // bad entries removed on detection so the refill repairs in place
+	Takeovers   int64 // stale cross-process claims reclaimed from dead writers
 }
 
 // Requests is the total number of cache lookups.
@@ -159,23 +189,25 @@ func (s Snapshot) Requests() int64 { return s.MemoHits + s.DiskHits + s.Misses }
 // call New. A nil *Cache is valid everywhere it is consulted by the
 // experiments layer and means "profile for real".
 type Cache struct {
-	dir string // "" = in-process memoizer only
+	dir        string        // "" = in-process memoizer only
+	ttl        time.Duration // stale-claim bound; 0 = defaultClaimTTL
+	budget     int64         // on-disk size budget in bytes; 0 = unlimited
+	memoBudget int           // max resolved memoizer entries; 0 = unlimited
 
 	mu      sync.Mutex
 	entries map[string]*entry
 
 	memoHits, diskHits, misses      atomic.Int64
 	badEntries, stores, storeErrors atomic.Int64
+	evictions, heals, takeovers     atomic.Int64
 }
 
-// entry is one single-flight slot: ready closes when res/cyc/advise/err
-// are set.
+// entry is one single-flight slot: ready closes when val/err are set.
+// val holds the kind-specific result (*Results, CycleStats, []byte).
 type entry struct {
-	ready  chan struct{}
-	res    *Results
-	cyc    CycleStats
-	advise []byte
-	err    error
+	ready chan struct{}
+	val   any
+	err   error
 }
 
 // New returns a cache. A non-empty dir enables the on-disk store rooted
@@ -187,6 +219,13 @@ func New(dir string) *Cache {
 // Dir returns the on-disk store directory ("" when memory-only).
 func (c *Cache) Dir() string { return c.dir }
 
+// SetMemoBudget caps the in-process memoizer at n resolved entries
+// (0 = unlimited, the CLI default — a run's working set is the run).
+// Long-running daemons set a budget so the memoizer cannot grow without
+// bound; evicted results remain one disk hit away, so the cap trades a
+// deserialization for boundedness, never a re-run.
+func (c *Cache) SetMemoBudget(n int) { c.memoBudget = n }
+
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Snapshot {
 	return Snapshot{
@@ -196,6 +235,9 @@ func (c *Cache) Stats() Snapshot {
 		BadEntries:  c.badEntries.Load(),
 		Stores:      c.stores.Load(),
 		StoreErrors: c.storeErrors.Load(),
+		Evictions:   c.evictions.Load(),
+		Heals:       c.heals.Load(),
+		Takeovers:   c.takeovers.Load(),
 	}
 }
 
@@ -223,6 +265,30 @@ func (c *Cache) abandon(id string) {
 	c.mu.Unlock()
 }
 
+// trimMemo enforces the memoizer budget after a publish. Only resolved
+// entries are dropped — an in-flight entry is load-bearing for its
+// waiters — and which resolved entries go is arbitrary (map order):
+// with the disk store behind the memoizer, replacement policy is worth
+// no bookkeeping. Waiters holding an evicted *entry are unaffected;
+// they own the pointer, not the map slot.
+func (c *Cache) trimMemo() {
+	if c.memoBudget <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, e := range c.entries {
+		if len(c.entries) <= c.memoBudget {
+			break
+		}
+		select {
+		case <-e.ready:
+			delete(c.entries, id)
+		default:
+		}
+	}
+}
+
 // wait blocks until the entry is filled or ctx ends.
 func wait(ctx context.Context, e *entry) error {
 	select {
@@ -233,108 +299,159 @@ func wait(ctx context.Context, e *entry) error {
 	}
 }
 
-// Profile returns the analysis bundle for key, serving from the memoizer
-// or the disk store when possible and otherwise running fill exactly
-// once per key (single-flight): concurrent requests for the same key
-// share the one fill. fill errors are returned, never cached. The
-// returned Results is shared between requesters and must be treated as
-// immutable.
-func (c *Cache) Profile(ctx context.Context, key Key, lineSize int, fill func(context.Context) (*profiler.Profiler, error)) (*Results, error) {
+// get is the shared two-layer lookup: single-flight through the
+// memoizer, then disk load / cross-process claim / fill / publish.
+// A waiter whose owner failed retries from the top as long as its own
+// context is alive — an owner's failure (most often the owner's client
+// disconnecting mid-fill in the serve daemon) must not poison requests
+// that are still live.
+func (c *Cache) get(ctx context.Context, key Key,
+	load func(Key) (any, bool),
+	store func(Key, any),
+	fill func(context.Context) (any, error),
+) (any, error) {
 	id := key.ID()
-	e, owner := c.claim(id)
-	if !owner {
-		if err := wait(ctx, e); err != nil {
+	for {
+		e, owner := c.claim(id)
+		if !owner {
+			if err := wait(ctx, e); err != nil {
+				return nil, err
+			}
+			if e.err != nil {
+				if ctx.Err() != nil {
+					return nil, e.err
+				}
+				continue // owner failed but we are live: retry the claim
+			}
+			c.memoHits.Add(1)
+			return e.val, nil
+		}
+		val, err := c.fillEntry(ctx, key, id, load, store, fill)
+		if err != nil {
+			e.err = err
+			c.abandon(id)
+			close(e.ready)
 			return nil, err
 		}
-		c.memoHits.Add(1)
-		return e.res, nil
-	}
-	if res, ok := c.loadProfile(key); ok {
-		e.res = res
+		e.val = val
 		close(e.ready)
-		c.diskHits.Add(1)
-		return res, nil
+		c.trimMemo()
+		return val, nil
 	}
-	p, err := fill(ctx)
+}
+
+// fillEntry resolves one memoizer-owned fill against the disk layer:
+// serve from disk if published, otherwise win the cross-process claim
+// (or wait out whichever process holds it, re-checking the store
+// between backoffs) and run the fill exactly once fleet-wide.
+func (c *Cache) fillEntry(ctx context.Context, key Key, id string,
+	load func(Key) (any, bool),
+	store func(Key, any),
+	fill func(context.Context) (any, error),
+) (any, error) {
+	if c.dir == "" {
+		val, err := fill(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c.misses.Add(1)
+		return val, nil
+	}
+	var backoff time.Duration
+	for {
+		if val, ok := load(key); ok {
+			c.diskHits.Add(1)
+			c.touchEntry(key)
+			return val, nil
+		}
+		release, owned, err := c.acquireFill(ctx, id, &backoff)
+		if err != nil {
+			return nil, err
+		}
+		if !owned {
+			continue // backed off; re-check whether the holder published
+		}
+		// Claim held. A fill may have been published between our load
+		// and the claim (the previous holder releasing) — re-check
+		// before paying for the run.
+		if val, ok := load(key); ok {
+			release()
+			c.diskHits.Add(1)
+			c.touchEntry(key)
+			return val, nil
+		}
+		val, err := fill(ctx)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		c.misses.Add(1)
+		store(key, val) // atomic publish happens before the claim drops
+		release()
+		c.maybeEvict()
+		return val, nil
+	}
+}
+
+// Profile returns the analysis bundle for key, serving from the memoizer
+// or the disk store when possible and otherwise running fill exactly
+// once per key (single-flight, in-process and across processes):
+// concurrent requests for the same key share the one fill. fill errors
+// are returned, never cached. The returned Results is shared between
+// requesters and must be treated as immutable.
+func (c *Cache) Profile(ctx context.Context, key Key, lineSize int, fill func(context.Context) (*profiler.Profiler, error)) (*Results, error) {
+	v, err := c.get(ctx, key,
+		func(k Key) (any, bool) { r, ok := c.loadProfile(k); return r, ok },
+		func(k Key, v any) { c.storeProfile(k, v.(*Results)) },
+		func(ctx context.Context) (any, error) {
+			p, err := fill(ctx)
+			if err != nil {
+				return nil, err
+			}
+			res := NewResults(p, lineSize)
+			res.ResolveAll() // derive everything, then drop the profiler: entries stay small
+			return res, nil
+		})
 	if err != nil {
-		e.err = err
-		c.abandon(id)
-		close(e.ready)
 		return nil, err
 	}
-	res := NewResults(p, lineSize)
-	res.ResolveAll() // derive everything, then drop the profiler: entries stay small
-	e.res = res
-	close(e.ready)
-	c.misses.Add(1)
-	c.storeProfile(key, res)
-	return res, nil
+	return v.(*Results), nil
 }
 
 // Cycles is Profile for native cycle-model runs.
 func (c *Cache) Cycles(ctx context.Context, key Key, fill func(context.Context) (CycleStats, error)) (CycleStats, error) {
-	id := key.ID()
-	e, owner := c.claim(id)
-	if !owner {
-		if err := wait(ctx, e); err != nil {
-			return CycleStats{}, err
-		}
-		c.memoHits.Add(1)
-		return e.cyc, nil
-	}
-	if cyc, ok := c.loadCycles(key); ok {
-		e.cyc = cyc
-		close(e.ready)
-		c.diskHits.Add(1)
-		return cyc, nil
-	}
-	cyc, err := fill(ctx)
+	v, err := c.get(ctx, key,
+		func(k Key) (any, bool) { cyc, ok := c.loadCycles(k); return cyc, ok },
+		func(k Key, v any) { c.storeCycles(k, v.(CycleStats)) },
+		func(ctx context.Context) (any, error) { return fill(ctx) })
 	if err != nil {
-		e.err = err
-		c.abandon(id)
-		close(e.ready)
 		return CycleStats{}, err
 	}
-	e.cyc = cyc
-	close(e.ready)
-	c.misses.Add(1)
-	c.storeCycles(key, cyc)
-	return cyc, nil
+	return v.(CycleStats), nil
 }
 
-// Advise is Profile for encoded advisor reports: fill produces the
-// canonical report bytes (which embed their own schema version, also
-// part of the key), and warm runs serve the bytes without re-profiling
-// or re-joining. The returned slice is shared between requesters and
-// must be treated as immutable.
-func (c *Cache) Advise(ctx context.Context, key Key, fill func(context.Context) ([]byte, error)) ([]byte, error) {
-	id := key.ID()
-	e, owner := c.claim(id)
-	if !owner {
-		if err := wait(ctx, e); err != nil {
-			return nil, err
-		}
-		c.memoHits.Add(1)
-		return e.advise, nil
-	}
-	if rep, ok := c.loadAdvise(key); ok {
-		e.advise = rep
-		close(e.ready)
-		c.diskHits.Add(1)
-		return rep, nil
-	}
-	rep, err := fill(ctx)
+// Bytes is Profile for opaque rendered entries: fill produces the final
+// bytes (an encoded advisor report, a rendered debug view — anything
+// whose key captures every determining input), and warm runs serve them
+// without recomputing. The returned slice is shared between requesters
+// and must be treated as immutable.
+func (c *Cache) Bytes(ctx context.Context, key Key, fill func(context.Context) ([]byte, error)) ([]byte, error) {
+	v, err := c.get(ctx, key,
+		func(k Key) (any, bool) { b, ok := c.loadBytes(k); return b, ok },
+		func(k Key, v any) { c.storeBytes(k, v.([]byte)) },
+		func(ctx context.Context) (any, error) { return fill(ctx) })
 	if err != nil {
-		e.err = err
-		c.abandon(id)
-		close(e.ready)
 		return nil, err
 	}
-	e.advise = rep
-	close(e.ready)
-	c.misses.Add(1)
-	c.storeAdvise(key, rep)
-	return rep, nil
+	return v.([]byte), nil
+}
+
+// Advise is Bytes under its historical name: fill produces the
+// canonical report bytes (which embed their own schema version, also
+// part of the key), and warm runs serve the bytes without re-profiling
+// or re-joining.
+func (c *Cache) Advise(ctx context.Context, key Key, fill func(context.Context) ([]byte, error)) ([]byte, error) {
+	return c.Bytes(ctx, key, fill)
 }
 
 // Results is the analysis bundle of one profiled cell: every merged

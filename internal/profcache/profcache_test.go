@@ -88,6 +88,8 @@ func TestKeySensitivity(t *testing.T) {
 		{"cycles", profcache.CyclesKey(app, cfg, 0, 1)},
 		{"cycles bypass setting", profcache.CyclesKey(app, cfg, 3, 1)},
 		{"cycles scale", profcache.CyclesKey(app, cfg, 0, 2)},
+		{"view kind", profcache.ViewKey(app, cfg, opts, 1, 0, "debugviews")},
+		{"view name", profcache.ViewKey(app, cfg, opts, 1, 0, "cct")},
 	}
 	seen := make(map[string]string)
 	for _, k := range keys {
@@ -99,6 +101,19 @@ func TestKeySensitivity(t *testing.T) {
 	}
 	if got := profcache.ProfileKey(app, cfg, opts, 1, 0).ID(); got != keys[0].key.ID() {
 		t.Errorf("identical inputs produced different keys: %s vs %s", got, keys[0].key.ID())
+	}
+
+	// Every key folds in the build-derived cache version, so a rebuilt
+	// binary addresses a fresh namespace and old entries self-invalidate
+	// without any hand-bumped store version.
+	base := profcache.ProfileKey(app, cfg, opts, 1, 0)
+	if base.Build == "" || base.Build != profcache.BuildVersion() {
+		t.Errorf("key build version = %q, want BuildVersion() = %q", base.Build, profcache.BuildVersion())
+	}
+	rebuilt := base
+	rebuilt.Build = "0123456789abcdef"
+	if rebuilt.ID() == base.ID() {
+		t.Errorf("changing the build version did not change the key: %s", base.Canonical())
 	}
 }
 
@@ -359,8 +374,8 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, 1},
 		{"empty", func([]byte) []byte { return nil }, 1},
 		{"garbage", func([]byte) []byte { return []byte("not a cache entry at all\n") }, 1},
-		{"version mismatch", func(b []byte) []byte {
-			return bytes.Replace(b, []byte(" v1 "), []byte(" v999 "), 1)
+		{"foreign magic", func(b []byte) []byte {
+			return bytes.Replace(b, []byte("cudaadvisor-profcache "), []byte("cudaadvisor-profcache2 "), 1)
 		}, 1},
 		{"checksum mismatch", func(b []byte) []byte {
 			c := append([]byte(nil), b...)
@@ -423,7 +438,7 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 		})
 	}
 
-	if !strings.Contains(string(pristine), "cudaadvisor-profcache v1 ") {
-		t.Errorf("entry header missing the versioned magic:\n%.80s", pristine)
+	if !strings.Contains(string(pristine), "cudaadvisor-profcache ") {
+		t.Errorf("entry header missing the magic:\n%.80s", pristine)
 	}
 }

@@ -13,12 +13,18 @@ import (
 // deterministic for a fixed command and cache state at every worker
 // count: single-flight makes the number of fills equal the number of
 // unique keys not already on disk. A nil cache reports "off".
+//
+// Evictions and heals are janitorial work, counted separately from
+// misses (and appended last, so scripts matching the hit/miss prefix
+// keep working): a warm run under a size budget can legitimately show
+// "0 misses, … 2 evictions" and the 100%-hit-rate assertion stays
+// meaningful.
 func CacheStats(w io.Writer, c *profcache.Cache) {
 	if c == nil {
 		fmt.Fprintln(w, "cache: off")
 		return
 	}
 	s := c.Stats()
-	fmt.Fprintf(w, "cache: %d requests, %d memo hits, %d disk hits, %d misses, %d bad entries, %d stores, %d store errors\n",
-		s.Requests(), s.MemoHits, s.DiskHits, s.Misses, s.BadEntries, s.Stores, s.StoreErrors)
+	fmt.Fprintf(w, "cache: %d requests, %d memo hits, %d disk hits, %d misses, %d bad entries, %d stores, %d store errors, %d evictions, %d heals\n",
+		s.Requests(), s.MemoHits, s.DiskHits, s.Misses, s.BadEntries, s.Stores, s.StoreErrors, s.Evictions, s.Heals)
 }

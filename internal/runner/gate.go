@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is Enter's immediate refusal when both the admitted set
+// and the waiting queue are full. Frontends map it to 429 + Retry-After:
+// shedding at the door is the only backpressure that keeps latency
+// bounded — an unbounded queue converts overload into timeouts for
+// everyone, including the requests that would have been fast.
+var ErrOverloaded = errors.New("overloaded: admission queue full")
+
+// Gate is a bounded admission controller for request-serving frontends:
+// at most width requests run at once, at most depth more wait for a
+// slot, and everything beyond that is refused immediately with
+// ErrOverloaded. It deliberately sits in front of a Pool rather than
+// replacing it — the pool bounds CPU-heavy leaf work inside one
+// request, the gate bounds how many requests may compete for that pool
+// at all.
+//
+// The zero value is not usable; call NewGate.
+type Gate struct {
+	slots chan struct{} // admitted requests: buffered to width
+	queue chan struct{} // waiting requests: buffered to depth
+
+	admitted, shed atomic.Int64
+}
+
+// NewGate returns a gate admitting width concurrent requests with a
+// waiting queue of depth. width < 1 is clamped to 1; depth < 0 to 0
+// (no queue: busy means shed).
+func NewGate(width, depth int) *Gate {
+	if width < 1 {
+		width = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Gate{
+		slots: make(chan struct{}, width),
+		queue: make(chan struct{}, depth),
+	}
+}
+
+// Enter requests admission. It returns a release function (call exactly
+// once, when the request finishes) on success; ErrOverloaded
+// immediately — never after queueing delay — when the gate is full; or
+// ctx.Err() if the caller's context ends while it waits in the queue.
+func (g *Gate) Enter(ctx context.Context) (release func(), err error) {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.leave, nil
+	default:
+	}
+	// No free slot: try to take a queue position without blocking —
+	// a full queue is the shed signal, and shedding must be instant.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer func() { <-g.queue }()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.leave, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) leave() { <-g.slots }
+
+// InFlight reports the number of currently admitted requests.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Waiting reports the number of requests queued for admission.
+func (g *Gate) Waiting() int { return len(g.queue) }
+
+// Admitted reports the total number of requests ever admitted.
+func (g *Gate) Admitted() int64 { return g.admitted.Load() }
+
+// Shed reports the total number of requests refused with ErrOverloaded.
+func (g *Gate) Shed() int64 { return g.shed.Load() }

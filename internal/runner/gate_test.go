@@ -1,0 +1,144 @@
+package runner_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cudaadvisor/internal/runner"
+)
+
+// TestGateAdmitsUpToWidth: width requests run concurrently, the next
+// depth wait, and everything beyond sheds immediately with
+// ErrOverloaded.
+func TestGateAdmitsUpToWidth(t *testing.T) {
+	g := runner.NewGate(2, 1)
+	ctx := context.Background()
+
+	rel1, err := g.Enter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Enter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// Third request queues; it must block until a slot frees.
+	entered := make(chan func(), 1)
+	go func() {
+		rel, err := g.Enter(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		entered <- rel
+	}()
+	for i := 0; g.Waiting() != 1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Waiting() != 1 {
+		t.Fatal("third request never queued")
+	}
+
+	// Fourth request: queue full → immediate shed.
+	start := time.Now()
+	if _, err := g.Enter(ctx); !errors.Is(err, runner.ErrOverloaded) {
+		t.Fatalf("overflow Enter err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("shedding took %v; refusal must be immediate, not queued", d)
+	}
+	if g.Shed() != 1 {
+		t.Errorf("Shed = %d, want 1", g.Shed())
+	}
+
+	rel1()
+	rel3 := <-entered
+	rel3()
+	rel2()
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Errorf("gate not drained: inflight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+	if g.Admitted() != 3 {
+		t.Errorf("Admitted = %d, want 3", g.Admitted())
+	}
+}
+
+// TestGateQueuedCancellation: a queued request whose context ends gets
+// ctx.Err() and gives its queue position back.
+func TestGateQueuedCancellation(t *testing.T) {
+	g := runner.NewGate(1, 1)
+	rel, err := g.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Enter(ctx)
+		done <- err
+	}()
+	for i := 0; g.Waiting() != 1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	if g.Waiting() != 0 {
+		t.Errorf("cancelled waiter still holds a queue position")
+	}
+	rel()
+}
+
+// TestGateStress: many concurrent requests against a small gate — every
+// request either runs (admitted) or sheds, the width bound is never
+// exceeded, and the gate fully drains. Run under -race this is the
+// synchronization stress test.
+func TestGateStress(t *testing.T) {
+	g := runner.NewGate(4, 4)
+	var peak, cur, admitted, shed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Enter(context.Background())
+			if err != nil {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			admitted++
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak > 4 {
+		t.Errorf("observed %d concurrent admissions, width is 4", peak)
+	}
+	if admitted+shed != 64 {
+		t.Errorf("admitted %d + shed %d != 64 requests", admitted, shed)
+	}
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Errorf("gate not drained: inflight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+}

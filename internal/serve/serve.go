@@ -1,0 +1,445 @@
+// Package serve is the profiling-as-a-service layer: an HTTP handler
+// that answers profile/lint/advise requests (built-in app name or .mir
+// upload × architecture × analysis options × scale) from the shared
+// content-addressed cache.
+//
+// Everything the pipeline produces is deterministic and
+// content-addressed, so the daemon is read-mostly by construction: the
+// first request for a key fills it (single-flight, in-process and
+// across processes via the cache's claim files), every later request is
+// a hit. Responses are byte-identical to the CLI invocation for the
+// same request because both call the same experiments renderers — the
+// daemon adds transport, not rendering.
+//
+// Hardening model:
+//
+//   - Admission: a runner.Gate bounds concurrent requests and the
+//     waiting queue; overflow sheds immediately with 429 + Retry-After
+//     instead of queueing unboundedly. /healthz and /statsz bypass the
+//     gate so probes keep answering under load.
+//   - Deadlines: Config.Timeout bounds each request via its context,
+//     which flows runner → experiments → the GPU warp-step guard — the
+//     same plumbing as -cell-timeout, but context-based so cacheability
+//     is preserved. A client disconnect cancels the same way.
+//   - Partial results: with Config.KeepGoing a failing cell renders as
+//     its annotation line and the response is 200 with an
+//     X-Cudaadvisor-Partial header, mirroring the CLI's -keep-going
+//     exit-1-but-render-everything contract.
+//   - Chaos: with Config.AllowInject a request may carry a per-request
+//     ?inject= fault spec. Injected failures surface as clean 5xx and
+//     the daemon keeps serving; injected runs bypass the cache both
+//     ways (see experiments.Env.Cache), and kill= specs are always
+//     rejected — the daemon never os.Exits on behalf of a request.
+//   - Atomic responses: every request renders into a buffer first, so
+//     an error becomes a clean status code, never a half-written body.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/experiments"
+	"cudaadvisor/internal/faultinject"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/profcache"
+	"cudaadvisor/internal/runner"
+	"cudaadvisor/internal/staticadvisor"
+)
+
+// maxUploadBytes bounds a .mir upload body.
+const maxUploadBytes = 4 << 20
+
+// maxScale bounds the per-request input scale: scale multiplies
+// simulation cost, so an unbounded value is a denial-of-service knob.
+const maxScale = 64
+
+// Config assembles a Server. Pool, Cache and Gate are shared across all
+// requests; the zero value of every limit means "none".
+type Config struct {
+	Pool  *runner.Pool
+	Cache *profcache.Cache // nil = no caching, not even single-flight
+	Gate  *runner.Gate     // nil = unbounded admission
+
+	// Timeout bounds each request end to end (0 = none). It is applied
+	// to the request context, so cancellation reaches the GPU step
+	// guard and the cache stays usable (unlike Env.CellTimeout, which
+	// documents timing-dependent runs by bypassing the cache).
+	Timeout time.Duration
+
+	// TraceCap bounds each kernel trace's buffers (0 = unbounded).
+	TraceCap int
+
+	// KeepGoing maps failing cells to partial-result 200 responses with
+	// an X-Cudaadvisor-Partial header instead of a 5xx.
+	KeepGoing bool
+
+	// AllowInject honors per-request ?inject= chaos specs. Off by
+	// default: injection exists for testing the daemon, not for
+	// callers.
+	AllowInject bool
+
+	// Log receives one line per completed request; nil = discard.
+	Log io.Writer
+}
+
+// Server is the HTTP handler. Create with New.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds the handler.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/statsz", s.statsz)
+	s.mux.HandleFunc("/v1/profile", s.gated(s.profile))
+	s.mux.HandleFunc("/v1/lint", s.gated(s.lint))
+	s.mux.HandleFunc("/v1/advise", s.gated(s.advise))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format, args...)
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// statszCache mirrors profcache.Snapshot for the wire; evictions, heals
+// and takeovers are reported separately from misses so a warm-hit-rate
+// assertion stays meaningful under a size budget.
+type statszCache struct {
+	Requests    int64 `json:"requests"`
+	MemoHits    int64 `json:"memo_hits"`
+	DiskHits    int64 `json:"disk_hits"`
+	Misses      int64 `json:"misses"`
+	BadEntries  int64 `json:"bad_entries"`
+	Stores      int64 `json:"stores"`
+	StoreErrors int64 `json:"store_errors"`
+	Evictions   int64 `json:"evictions"`
+	Heals       int64 `json:"heals"`
+	Takeovers   int64 `json:"takeovers"`
+}
+
+type statszGate struct {
+	InFlight int   `json:"in_flight"`
+	Waiting  int   `json:"waiting"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
+type statszBody struct {
+	Cache *statszCache `json:"cache,omitempty"`
+	Gate  *statszGate  `json:"gate,omitempty"`
+}
+
+func (s *Server) statsz(w http.ResponseWriter, _ *http.Request) {
+	var body statszBody
+	if c := s.cfg.Cache; c != nil {
+		sn := c.Stats()
+		body.Cache = &statszCache{
+			Requests: sn.Requests(), MemoHits: sn.MemoHits, DiskHits: sn.DiskHits,
+			Misses: sn.Misses, BadEntries: sn.BadEntries, Stores: sn.Stores,
+			StoreErrors: sn.StoreErrors, Evictions: sn.Evictions, Heals: sn.Heals,
+			Takeovers: sn.Takeovers,
+		}
+	}
+	if g := s.cfg.Gate; g != nil {
+		body.Gate = &statszGate{
+			InFlight: g.InFlight(), Waiting: g.Waiting(),
+			Admitted: g.Admitted(), Shed: g.Shed(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+// badRequest marks client errors (bad params, unparseable uploads) so
+// the handler answers 400 rather than 500.
+type badRequest struct{ err error }
+
+func (e badRequest) Error() string { return e.err.Error() }
+func (e badRequest) Unwrap() error { return e.err }
+
+func badf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
+
+// gated wraps a render handler with the full request discipline:
+// admission, deadline, buffered rendering, and status mapping.
+func (s *Server) gated(render func(*http.Request, experiments.Env, *bytes.Buffer) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Gate != nil {
+			release, err := s.cfg.Gate.Enter(r.Context())
+			if errors.Is(err, runner.ErrOverloaded) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				s.logf("serve: %s %s -> 429\n", r.Method, r.URL.Path)
+				return
+			}
+			if err != nil {
+				// Client gone while queued; nobody is listening.
+				return
+			}
+			defer release()
+		}
+		ctx := r.Context()
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+
+		env := experiments.Env{
+			Pool:      s.cfg.Pool,
+			Scale:     1,
+			Ctx:       ctx,
+			TraceCap:  s.cfg.TraceCap,
+			KeepGoing: s.cfg.KeepGoing,
+			Cache:     s.cfg.Cache,
+		}
+		var buf bytes.Buffer
+		err := func() error {
+			if spec := r.URL.Query().Get("inject"); spec != "" {
+				inj, err := s.injectConfig(spec)
+				if err != nil {
+					return err
+				}
+				env.Inject = inj
+			}
+			if scale := r.URL.Query().Get("scale"); scale != "" {
+				n, err := strconv.Atoi(scale)
+				if err != nil || n < 1 || n > maxScale {
+					return badf("scale=%q: want an integer in [1, %d]", scale, maxScale)
+				}
+				env.Scale = n
+			}
+			return render(r, env, &buf)
+		}()
+
+		status, partial := http.StatusOK, false
+		var br badRequest
+		switch {
+		case err == nil:
+		case errors.As(err, &br):
+			status = http.StatusBadRequest
+		case s.cfg.KeepGoing && buf.Len() > 0:
+			// The renderer degraded gracefully: annotated cells, healthy
+			// ones intact. Deliver the partial body, flagged.
+			partial = true
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			s.logf("serve: %s %s -> client gone\n", r.Method, r.URL.Path)
+			return
+		default:
+			status = http.StatusInternalServerError
+		}
+		s.logf("serve: %s %s -> %d\n", r.Method, r.URL.Path, status)
+		if status != http.StatusOK {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		if partial {
+			w.Header().Set("X-Cudaadvisor-Partial", "true")
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(buf.Bytes())
+	}
+}
+
+// injectConfig validates a per-request chaos spec: injection must be
+// enabled server-side, and kill= is never honored — a request must not
+// be able to take the daemon down.
+func (s *Server) injectConfig(spec string) (*faultinject.Config, error) {
+	if !s.cfg.AllowInject {
+		return nil, badf("inject: not enabled on this server (start with -allow-inject)")
+	}
+	cfg, err := faultinject.Parse(spec)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if cfg.KillCell != "" {
+		return nil, badf("inject: kill= is not allowed over serve")
+	}
+	return cfg, nil
+}
+
+// archParam resolves the ?arch= parameter (default kepler).
+func archParam(r *http.Request) (gpu.ArchConfig, error) {
+	switch name := r.URL.Query().Get("arch"); name {
+	case "", "kepler":
+		return gpu.KeplerK40c(), nil
+	case "pascal":
+		return gpu.PascalP100(), nil
+	default:
+		return gpu.ArchConfig{}, badf("unknown architecture %q (want kepler or pascal)", name)
+	}
+}
+
+// appParam resolves the ?app= parameter, when present.
+func appParam(r *http.Request) (*apps.App, error) {
+	name := r.URL.Query().Get("app")
+	if name == "" {
+		return nil, nil
+	}
+	app := apps.ByName(name)
+	if app == nil {
+		return nil, badf("unknown application %q", name)
+	}
+	return app, nil
+}
+
+// formatParam resolves the ?format= parameter (default text). It
+// validates eagerly — the dynamic advise path would otherwise profile
+// an app before discovering the rendering is unserviceable.
+func formatParam(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "":
+		return "text", nil
+	case "text", "json":
+		return f, nil
+	default:
+		return "", badf("unknown format %q (want text or json)", f)
+	}
+}
+
+// boolParam reads a flag-style parameter ("1"/"true" = on).
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+// uploadIR reads a POSTed .mir module and runs the static advisor over
+// it. The body is size-bounded; an empty body means "no upload".
+func uploadIR(r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if len(src) > maxUploadBytes {
+		return nil, badf("upload exceeds %d bytes", maxUploadBytes)
+	}
+	return src, nil
+}
+
+// uploadName labels parse errors for an uploaded module.
+func uploadName(r *http.Request) string {
+	if n := r.URL.Query().Get("name"); n != "" {
+		return n
+	}
+	return "upload.mir"
+}
+
+// profile renders GET /v1/profile?app=A&arch=kepler&mode=all&smem=1.
+func (s *Server) profile(r *http.Request, env experiments.Env, buf *bytes.Buffer) error {
+	app, err := appParam(r)
+	if err != nil {
+		return err
+	}
+	if app == nil {
+		return badf("profile wants an ?app= parameter (one of the built-in applications)")
+	}
+	cfg, err := archParam(r)
+	if err != nil {
+		return err
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "all"
+	}
+	switch mode {
+	case "rd", "md", "bd", "all":
+	default:
+		return badf("unknown profile mode %q (want rd, md, bd, or all)", mode)
+	}
+	req := experiments.ProfileRequest{App: app, Arch: cfg, Mode: mode, Smem: boolParam(r, "smem")}
+	return experiments.WriteProfileEnv(buf, env, req)
+}
+
+// lint renders /v1/lint?app=A or a POSTed .mir body. Lint is static
+// only, so the env (deadline aside) does not apply.
+func (s *Server) lint(r *http.Request, _ experiments.Env, buf *bytes.Buffer) error {
+	cfg, err := archParam(r)
+	if err != nil {
+		return err
+	}
+	format, err := formatParam(r)
+	if err != nil {
+		return err
+	}
+	res, err := s.analyzeRequest(r)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteStaticLint(buf, res, cfg, format)
+}
+
+// advise renders /v1/advise?app=A (profiled and joined, through the
+// cache) or a POSTed .mir body (static-only report, same schema).
+func (s *Server) advise(r *http.Request, env experiments.Env, buf *bytes.Buffer) error {
+	cfg, err := archParam(r)
+	if err != nil {
+		return err
+	}
+	format, err := formatParam(r)
+	if err != nil {
+		return err
+	}
+	app, err := appParam(r)
+	if err != nil {
+		return err
+	}
+	if app != nil {
+		return experiments.WriteAdviseEnv(buf, env, app, cfg, format)
+	}
+	res, err := s.analyzeRequest(r)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteStaticAdvise(buf, res, cfg, format)
+}
+
+// analyzeRequest resolves the static-analysis target: a built-in app by
+// name, or an uploaded textual IR module.
+func (s *Server) analyzeRequest(r *http.Request) (*staticadvisor.ModuleResult, error) {
+	app, err := appParam(r)
+	if err != nil {
+		return nil, err
+	}
+	if app != nil {
+		return experiments.AnalyzeAppStatic(app)
+	}
+	src, err := uploadIR(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(src) == 0 {
+		return nil, badf("want an ?app= parameter or a POSTed .mir module body")
+	}
+	res, err := experiments.AnalyzeIRSource(uploadName(r), string(src))
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	return res, nil
+}
