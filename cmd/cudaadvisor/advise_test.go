@@ -26,7 +26,7 @@ func TestAdviseJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if rep.Schema != "advisor-report/v2" || rep.App != "bfs" || rep.Arch != "kepler-k40c" {
+	if rep.Schema != "advisor-report/v3" || rep.App != "bfs" || rep.Arch != "kepler-k40c" {
 		t.Errorf("report header = %q/%q/%q", rep.Schema, rep.App, rep.Arch)
 	}
 	if len(rep.Findings) == 0 {
@@ -178,13 +178,13 @@ func TestCheckReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, _ := runOK(t, "checkreport", good)
-	if !strings.Contains(out, "good.json: ok (advisor-report/v2") {
+	if !strings.Contains(out, "good.json: ok (advisor-report/v3") {
 		t.Errorf("checkreport output = %q", out)
 	}
 
 	for name, content := range map[string]string{
 		// A previous-schema report must be rejected, not silently served.
-		"wrongver.json": strings.Replace(stdout, "advisor-report/v2", "advisor-report/v1", 1),
+		"wrongver.json": strings.Replace(stdout, "advisor-report/v3", "advisor-report/v1", 1),
 		"garbage.json":  "not a report",
 		"unknown.json":  strings.Replace(stdout, `"app"`, `"bogus": 1, "app"`, 1),
 	} {

@@ -8,6 +8,7 @@
 //
 //	cudaadvisor apps                      list the benchmark applications
 //	cudaadvisor profile <app> [flags]     run one app under the profiler
+//	cudaadvisor export <app> [flags]      emit flamegraph / timeline data
 //	cudaadvisor lint <app|file.mir>       static divergence analysis
 //	cudaadvisor figure4|figure5|table3    regenerate an experiment
 //	cudaadvisor figure6|figure7|figure10
@@ -50,6 +51,14 @@
 //	-smem                  trace shared-memory accesses, watch for bank
 //	                       conflicts and same-interval races, and print
 //	                       the shared-memory section
+//
+// export serializes a profile for standard visualization tooling
+// (DESIGN.md §12): -format folded emits flamegraph folded stacks over
+// the merged CPU+GPU calling-context tree (pipe into flamegraph.pl or
+// load into speedscope), weighted by -weight cycles|lines|divergence|
+// reuse; -format chrome emits a Chrome-trace JSON timeline of warp/CTA
+// scheduling (load at chrome://tracing or ui.perfetto.dev). checkexport
+// structurally validates exported files.
 //
 // serve runs the pipeline as a hardened HTTP daemon (DESIGN.md §11):
 // /v1/profile, /v1/lint and /v1/advise answer from the shared cache
@@ -154,6 +163,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = adviseCmd(rest, env, stdout, stderr)
 	case "checkreport":
 		err = checkReportCmd(rest, stdout)
+	case "export":
+		err = exportCmd(rest, env, stdout, stderr)
+	case "checkexport":
+		err = checkExportCmd(rest, stdout)
 	case "figure4":
 		err = experiments.WriteFigure4Env(stdout, env)
 	case "figure5":
@@ -216,6 +229,11 @@ commands:
   advise       ranked static+dynamic optimization report: cudaadvisor advise [-arch kepler|pascal] [-format text|json] [-scale N] <app|file.mir>
                (a .mir file gets a static-only report; apps are profiled and joined)
   checkreport  validate advisor-report JSON files: cudaadvisor checkreport <file.json>...
+  export       emit a profile for visualization tooling: cudaadvisor export
+               [-arch kepler|pascal] [-scale N] [-format folded|chrome]
+               [-weight cycles|lines|divergence|reuse] <app>
+               (folded: flamegraph.pl/speedscope; chrome: chrome://tracing)
+  checkexport  validate exported files: cudaadvisor checkexport <file>...
   figure4      reuse distance histograms
   figure5      memory divergence distributions (Kepler + Pascal)
   table3       branch divergence table
@@ -227,7 +245,7 @@ commands:
   serve        HTTP daemon answering profile/lint/advise requests from the
                shared cache: cudaadvisor serve [-addr host:port] [-width N]
                [-depth N] [-drain D] [-allow-inject]; endpoints /healthz,
-               /statsz, /v1/profile, /v1/lint, /v1/advise`)
+               /statsz, /v1/profile, /v1/lint, /v1/advise, /v1/export`)
 }
 
 // serveCmd boots the profiling daemon on the run's Env: the worker
@@ -405,6 +423,61 @@ func checkReportCmd(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "%s: ok (%s, %s on %s, %d findings)\n",
 			path, rep.Schema, rep.App, rep.Arch, len(rep.Findings))
+	}
+	return nil
+}
+
+// exportCmd serializes one application's profile for standard
+// visualization tooling: folded flamegraph stacks (flamegraph.pl,
+// speedscope) under a selectable weight, or a Chrome-trace JSON timeline
+// (chrome://tracing, Perfetto) of the launch's warp/CTA scheduling.
+func exportCmd(args []string, env experiments.Env, stdout, stderr io.Writer) error {
+	fl := flag.NewFlagSet("export", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	arch := fl.String("arch", "kepler", "architecture: kepler or pascal")
+	scale := fl.Int("scale", 1, "input scale factor")
+	format := fl.String("format", "folded", "output format: folded or chrome")
+	weight := fl.String("weight", "cycles", "folded stack weight: cycles, lines, divergence, or reuse")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() != 1 {
+		return fmt.Errorf("export wants exactly one application name (see 'cudaadvisor apps')")
+	}
+	target := fl.Arg(0)
+	app := apps.ByName(target)
+	if app == nil {
+		if strings.HasSuffix(target, ".mir") {
+			return fmt.Errorf("export needs a dynamic profile; a .mir file has no runnable host driver (pass an application name, see 'cudaadvisor apps')")
+		}
+		return fmt.Errorf("unknown application %q (see 'cudaadvisor apps')", target)
+	}
+	cfg, err := archConfig(*arch)
+	if err != nil {
+		return err
+	}
+	env.Scale = *scale
+	return experiments.WriteExportEnv(stdout, env, experiments.ExportRequest{
+		App: app, Arch: cfg, Format: *format, Weight: *weight,
+	})
+}
+
+// checkExportCmd structurally validates exported documents: Chrome
+// traces must pass the strict schema/nesting/monotonicity validator,
+// folded documents must parse line by line (the CI export sweep pipes
+// every emitted file through this).
+func checkExportCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("checkexport wants one or more exported files")
+	}
+	for _, path := range args {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := report.ExportCheck(stdout, path, raw); err != nil {
+			return err
+		}
 	}
 	return nil
 }

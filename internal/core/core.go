@@ -20,6 +20,7 @@ import (
 
 	"cudaadvisor/internal/analysis"
 	"cudaadvisor/internal/bypass"
+	"cudaadvisor/internal/export"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/instrument"
 	"cudaadvisor/internal/ir"
@@ -106,6 +107,20 @@ func (a *Advisor) BranchDivergence() *analysis.BranchDivResult {
 		total.Merge(analysis.BranchDivergence(kp.Trace, kp.Tables))
 	}
 	return total
+}
+
+// WriteFolded emits the session's profile as folded flamegraph stacks
+// under the given weight (see internal/export), using this
+// architecture's L1 line size for the lines weight.
+func (a *Advisor) WriteFolded(w io.Writer, weight string) error {
+	return export.WriteFolded(w, a.Profiler, weight, a.Arch.L1LineSize)
+}
+
+// WriteChromeTrace emits the session's warp/CTA scheduling timeline as
+// Chrome-trace JSON. The profile must have been collected with
+// rt.LaunchOptions.RecordSchedule on.
+func (a *Advisor) WriteChromeTrace(w io.Writer) error {
+	return export.WriteChromeTrace(w, a.Profiler)
 }
 
 // SharedBankConflicts aggregates the shared-memory bank-conflict profile

@@ -89,6 +89,14 @@ func (e Env) cellCtx(parent context.Context) (context.Context, context.CancelFun
 // policy applied: the cell's injector (panic, trace cap, listener
 // wrapping) and the cell context plumbed down to the GPU executor.
 func (e Env) profileCell(ctx context.Context, cell string, app *apps.App, cfg gpu.ArchConfig, opts instrument.Options) (*profiler.Profiler, error) {
+	return e.profileCellWith(ctx, cell, app, cfg, opts, false)
+}
+
+// profileCellWith is profileCell with the scheduling recorder switch
+// exposed: the timeline export needs per-SM schedules, every other cell
+// leaves recording off (it is observational, but the off default keeps
+// profile memory flat and existing cache entries equivalent).
+func (e Env) profileCellWith(ctx context.Context, cell string, app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, recordSchedule bool) (*profiler.Profiler, error) {
 	inj := e.Inject.Cell(cell)
 	inj.MaybePanic()
 	prog, err := app.Instrumented(opts)
@@ -99,6 +107,7 @@ func (e Env) profileCell(ctx context.Context, cell string, app *apps.App, cfg gp
 	p.TraceCap = inj.TraceCap(e.TraceCap)
 	c := rt.NewContext(gpu.NewDevice(cfg, DeviceMemBytes), inj.Listener(p))
 	c.Options.Ctx = ctx
+	c.Options.RecordSchedule = recordSchedule
 	// Hand the cell the run's pool too: launches split their SM shards
 	// across whatever workers the experiment fan-out leaves idle (the
 	// shard fan-out is non-blocking, so cell- and launch-level

@@ -1,0 +1,115 @@
+package experiments
+
+// The `export` command core. Like WriteProfileEnv, the CLI and the
+// serve daemon both render an export request through WriteExportEnv, so
+// /v1/export responses are byte-identical to the CLI by construction,
+// and the rendered bytes cache as a profcache "view" entry — a warm
+// export touches no simulator at all.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/core"
+	"cudaadvisor/internal/export"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profcache"
+	"cudaadvisor/internal/profiler"
+	"cudaadvisor/internal/runner"
+)
+
+// Export formats.
+const (
+	ExportFolded = "folded"
+	ExportChrome = "chrome"
+)
+
+// ExportRequest names one `export` invocation: which application on
+// which architecture, rendered to which format, and — for folded output
+// — under which stack weight.
+type ExportRequest struct {
+	App    *apps.App
+	Arch   gpu.ArchConfig
+	Format string // "folded" or "chrome"
+	Weight string // folded only; one of export.Weights
+}
+
+// view names the cache entry. Format and weight are render-only — the
+// same profile serializes many ways — so they are part of the view name,
+// exactly like ProfileRequest's mode.
+func (r ExportRequest) view() string {
+	if r.Format == ExportChrome {
+		return "export:chrome"
+	}
+	return "export:folded:" + r.Weight
+}
+
+// validate rejects malformed requests before any work is scheduled.
+func (r ExportRequest) validate() error {
+	switch r.Format {
+	case ExportFolded:
+		if !export.ValidWeight(r.Weight) {
+			return fmt.Errorf("unknown export weight %q (want cycles, lines, divergence, or reuse)", r.Weight)
+		}
+	case ExportChrome:
+	default:
+		return fmt.Errorf("unknown export format %q (want folded or chrome)", r.Format)
+	}
+	return nil
+}
+
+// WriteExportEnv renders one export request under an Env. The
+// evaluation cell is named "export/<arch>/<app>". Chrome requests run
+// the profile with schedule recording on (the timeline source); folded
+// requests run it off, like every other profiling cell. The rendered
+// bytes are cached as a "view" entry when the cache is active, so a
+// warm request is a pure cache read (0 misses).
+func WriteExportEnv(w io.Writer, env Env, req ExportRequest) error {
+	if err := req.validate(); err != nil {
+		return err
+	}
+	cell := "export/" + req.Arch.Name + "/" + req.App.Name
+	opts := instrument.MemoryAndBlocks()
+	record := req.Format == ExportChrome
+	render := func(ctx context.Context) ([]byte, error) {
+		p, err := runner.DoCtx(ctx, env.Pool, func(ctx context.Context) (*profiler.Profiler, error) {
+			return env.profileCellWith(ctx, cell, req.App, req.Arch, opts, record)
+		})
+		if err != nil {
+			return nil, err
+		}
+		adv := core.FromProfile(req.Arch, opts, p)
+		var b bytes.Buffer
+		if req.Format == ExportChrome {
+			err = adv.WriteChromeTrace(&b)
+		} else {
+			err = adv.WriteFolded(&b, req.Weight)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return b.Bytes(), nil
+	}
+	cctx, cancel := env.cellCtx(nil)
+	defer cancel()
+	var out []byte
+	var err error
+	if env.cacheActive() {
+		key := profcache.ViewKey(req.App, req.Arch, opts, env.Scale, env.TraceCap, req.view())
+		out, err = env.Cache.Bytes(cctx, key, render)
+	} else {
+		out, err = render(cctx)
+	}
+	if err != nil {
+		if env.KeepGoing {
+			fmt.Fprint(w, failedCell(cell, err))
+		}
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"cudaadvisor/internal/analysis"
+	"cudaadvisor/internal/apps"
+	"cudaadvisor/internal/export"
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/instrument"
+	"cudaadvisor/internal/profcache"
+	"cudaadvisor/internal/profiler"
+)
+
+// renderExport renders one export request under env, failing on error.
+func renderExport(t *testing.T, env Env, app, format, weight string) []byte {
+	t.Helper()
+	a := apps.ByName(app)
+	if a == nil {
+		t.Fatalf("unknown app %q", app)
+	}
+	var buf bytes.Buffer
+	err := WriteExportEnv(&buf, env, ExportRequest{
+		App: a, Arch: gpu.KeplerK40c(), Format: format, Weight: weight,
+	})
+	if err != nil {
+		t.Fatalf("export %s %s/%s: %v", app, format, weight, err)
+	}
+	return buf.Bytes()
+}
+
+// profileApp reruns the app's profiling cell exactly the way the export
+// path does, for the independent side of the differential checks.
+func profileApp(t *testing.T, env Env, app string) *profiler.Profiler {
+	t.Helper()
+	p, err := env.profileCell(context.Background(), "test/"+app,
+		apps.ByName(app), gpu.KeplerK40c(), instrument.MemoryAndBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFoldedTotalsReconcile is the differential harness for the folded
+// weights: for each weight, re-aggregating the folded document must
+// reproduce the independently computed profile aggregate exactly — the
+// same numbers the figures and the advisor report are built from.
+func TestFoldedTotalsReconcile(t *testing.T) {
+	env := DefaultEnv(nil, 1)
+	lineSize := gpu.KeplerK40c().L1LineSize
+	nonzero := map[string]bool{}
+	for _, app := range []string{"backprop", "bfs", "nn", "nw"} {
+		p := profileApp(t, env, app)
+
+		var wantCycles int64
+		for _, kp := range p.Kernels {
+			if kp.Result != nil {
+				wantCycles += kp.Result.Cycles
+			}
+		}
+		wantLines := MergedMemDiv(p, lineSize).WeightedSum
+		wantDiv := MergedBranchDiv(p).Divergent
+		var wantReuse int64
+		for _, kp := range p.Kernels {
+			for _, s := range analysis.ReuseBySite(kp.Trace, analysis.DefaultElementReuse()) {
+				wantReuse += s.Reused
+			}
+		}
+
+		for _, tc := range []struct {
+			weight string
+			want   int64
+		}{
+			{export.WeightCycles, wantCycles},
+			{export.WeightLines, wantLines},
+			{export.WeightDivergence, wantDiv},
+			{export.WeightReuse, wantReuse},
+		} {
+			doc := renderExport(t, env, app, ExportFolded, tc.weight)
+			got, err := export.SumFolded(doc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, tc.weight, err)
+			}
+			if got != tc.want {
+				t.Errorf("%s/%s: folded total %d, profile aggregate %d (must reconcile exactly)",
+					app, tc.weight, got, tc.want)
+			}
+			if tc.want != 0 {
+				nonzero[tc.weight] = true
+			}
+		}
+	}
+	// Zero-equals-zero proves nothing: every weight must reconcile a
+	// nonzero aggregate on at least one of the apps above.
+	for _, w := range export.Weights {
+		if !nonzero[w] {
+			t.Errorf("weight %s never saw a nonzero aggregate across the test apps", w)
+		}
+	}
+}
+
+// TestChromeTraceValidAllApps runs the strict structural validator over
+// the Chrome-trace export of every registered application: decodable
+// with no unknown fields, B/E balanced per track, timestamps monotone.
+func TestChromeTraceValidAllApps(t *testing.T) {
+	env := DefaultEnv(nil, 1)
+	for _, app := range apps.TableOrder {
+		doc := renderExport(t, env, app, ExportChrome, "")
+		if err := export.ValidateChrome(doc); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+// TestExportSampledTraceCap: a -trace-cap truncated profile exports with
+// the [sampled] annotation, and its weights stay the raw recorded sample
+// — reconciling with the analyses over the same capped trace, never
+// rescaled toward the full run.
+func TestExportSampledTraceCap(t *testing.T) {
+	env := DefaultEnv(nil, 1)
+	env.TraceCap = 100
+	doc := renderExport(t, env, "bfs", ExportFolded, export.WeightLines)
+	if !bytes.HasPrefix(doc, []byte("# [sampled]")) {
+		t.Fatalf("capped export lacks the [sampled] header:\n%.200s", doc)
+	}
+	if !strings.Contains(string(doc), "not rescaled") {
+		t.Errorf("sampled header does not state the no-rescaling contract:\n%.200s", doc)
+	}
+
+	got, err := export.SumFolded(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profileApp(t, env, "bfs")
+	want := MergedMemDiv(p, gpu.KeplerK40c().L1LineSize).WeightedSum
+	if got != want {
+		t.Errorf("sampled folded total %d != capped-profile aggregate %d (weights must not be rescaled)", got, want)
+	}
+
+	full := DefaultEnv(nil, 1)
+	fullTotal, err := export.SumFolded(renderExport(t, full, "bfs", ExportFolded, export.WeightLines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= fullTotal {
+		t.Errorf("sampled total %d >= full total %d: the cap did not truncate", got, fullTotal)
+	}
+
+	// The Chrome export marks sampled kernels too.
+	chrome := renderExport(t, env, "bfs", ExportChrome, "")
+	if !strings.Contains(string(chrome), `"sampled":"true"`) {
+		t.Errorf("capped Chrome trace lacks the sampled kernel annotation")
+	}
+}
+
+// TestExportCacheViewZeroMisses: export renders cache as profcache view
+// entries — a warm rerun of every format and weight is pure cache reads
+// (0 misses), byte-identical to the cold render and to the uncached one.
+func TestExportCacheViewZeroMisses(t *testing.T) {
+	uncached := map[string][]byte{}
+	reqs := [][2]string{{ExportChrome, ""}}
+	for _, w := range export.Weights {
+		reqs = append(reqs, [2]string{ExportFolded, w})
+	}
+	for _, r := range reqs {
+		uncached[r[0]+"/"+r[1]] = renderExport(t, DefaultEnv(nil, 1), "bfs", r[0], r[1])
+	}
+
+	dir := t.TempDir()
+	cold := DefaultEnv(nil, 1)
+	cold.Cache = profcache.New(dir)
+	for _, r := range reqs {
+		if got := renderExport(t, cold, "bfs", r[0], r[1]); !bytes.Equal(got, uncached[r[0]+"/"+r[1]]) {
+			t.Errorf("cold cached %s/%s differs from uncached", r[0], r[1])
+		}
+	}
+	if s := cold.Cache.Stats(); s.Misses == 0 || s.Stores != s.Misses {
+		t.Errorf("cold stats %+v: every view entry must miss then store", s)
+	}
+
+	warm := DefaultEnv(nil, 1)
+	warm.Cache = profcache.New(dir)
+	for _, r := range reqs {
+		if got := renderExport(t, warm, "bfs", r[0], r[1]); !bytes.Equal(got, uncached[r[0]+"/"+r[1]]) {
+			t.Errorf("warm cached %s/%s differs from uncached", r[0], r[1])
+		}
+	}
+	if s := warm.Cache.Stats(); s.Misses != 0 || s.BadEntries != 0 || s.DiskHits != int64(len(reqs)) {
+		t.Errorf("warm stats %+v: want %d disk hits and 0 misses", s, len(reqs))
+	}
+}
+
+// TestExportRequestValidation: malformed requests fail before any
+// simulator work, with messages naming the valid sets.
+func TestExportRequestValidation(t *testing.T) {
+	env := DefaultEnv(nil, 1)
+	app := apps.ByName("bfs")
+	var buf bytes.Buffer
+	err := WriteExportEnv(&buf, env, ExportRequest{App: app, Arch: gpu.KeplerK40c(), Format: "svg"})
+	if err == nil || !strings.Contains(err.Error(), `unknown export format "svg"`) {
+		t.Errorf("bad format err = %v", err)
+	}
+	err = WriteExportEnv(&buf, env, ExportRequest{App: app, Arch: gpu.KeplerK40c(), Format: ExportFolded, Weight: "bytes"})
+	if err == nil || !strings.Contains(err.Error(), `unknown export weight "bytes"`) {
+		t.Errorf("bad weight err = %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("failed validation wrote %d bytes", buf.Len())
+	}
+}

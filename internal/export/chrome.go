@@ -1,0 +1,184 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cudaadvisor/internal/gpu"
+	"cudaadvisor/internal/profiler"
+)
+
+// ChromeEvent is one Chrome-trace (Trace Event Format) entry. The
+// emitter and the strict validator share this struct, so a document that
+// round-trips through ValidateChrome is known to use exactly these
+// fields. Timestamps are model cycles presented as microseconds (the
+// format's native unit); the simulation has no wall clock.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Chrome event phases the exporter emits.
+const (
+	PhaseBegin = "B"
+	PhaseEnd   = "E"
+	PhaseMeta  = "M"
+)
+
+// kernelTid is the per-SM track carrying kernel-launch duration events;
+// CTA residency slots occupy tids kernelTid+1 and up.
+const kernelTid = 0
+
+// WriteChromeTrace emits the profile's scheduling timeline as a Chrome-
+// trace JSON array: one process per SM (pid = SM id), a kernel track
+// (tid 0) with one duration event per launch, and CTA-slot tracks
+// (tid 1..) where each CTA's residency on the SM is a nested duration
+// event inside its launch. Launches lay out end to end on a global
+// cycle axis: launch k starts where the whole previous launch finished
+// (its launch-wide max cycles), matching the host's serial launch order.
+//
+// The profile must have been collected with schedule recording on
+// (rt.LaunchOptions.RecordSchedule); a profile without any per-SM
+// schedules is an error, not an empty document.
+func WriteChromeTrace(w io.Writer, p *profiler.Profiler) error {
+	type track struct{ events []ChromeEvent }
+	perSM := map[int]*track{}
+	maxSlot := map[int]int{}
+	recorded := false
+	base := int64(0)
+	for _, kp := range p.Kernels {
+		if kp.Result == nil {
+			continue
+		}
+		for _, sched := range kp.Result.Schedule {
+			recorded = true
+			tr := perSM[sched.SM]
+			if tr == nil {
+				tr = &track{}
+				perSM[sched.SM] = tr
+			}
+			args := map[string]string{
+				"kernel":   kp.Info.Kernel,
+				"instance": fmt.Sprintf("%d", kp.Trace.Instance),
+			}
+			if rec, seen := kp.Trace.MemCoverage(); seen > rec {
+				args["sampled"] = "true"
+			} else if rec, seen := kp.Trace.BlocksCoverage(); seen > rec {
+				args["sampled"] = "true"
+			}
+			tr.events = append(tr.events,
+				ChromeEvent{Name: kp.Info.Kernel, Ph: PhaseBegin, Ts: base, Pid: sched.SM, Tid: kernelTid, Args: args},
+			)
+
+			// CTA residency spans map onto the fewest slots that keep
+			// overlapping spans apart: sorted by start, each span takes
+			// the lowest slot already free at its start cycle.
+			spans := append([]gpu.CTASpan(nil), sched.CTAs...)
+			sort.Slice(spans, func(i, j int) bool {
+				if spans[i].Start != spans[j].Start {
+					return spans[i].Start < spans[j].Start
+				}
+				if spans[i].End != spans[j].End {
+					return spans[i].End < spans[j].End
+				}
+				return spans[i].CTA < spans[j].CTA
+			})
+			var slotEnd []int64
+			type placed struct {
+				span gpu.CTASpan
+				slot int
+			}
+			var placements []placed
+			for _, sp := range spans {
+				slot := -1
+				for i, end := range slotEnd {
+					if end <= sp.Start {
+						slot = i
+						break
+					}
+				}
+				if slot < 0 {
+					slot = len(slotEnd)
+					slotEnd = append(slotEnd, 0)
+				}
+				slotEnd[slot] = sp.End
+				placements = append(placements, placed{sp, slot})
+				if slot+1 > maxSlot[sched.SM] {
+					maxSlot[sched.SM] = slot + 1
+				}
+			}
+			// Emit per slot in time order so every (pid, tid) track is
+			// monotone and B/E-balanced by construction.
+			sort.SliceStable(placements, func(i, j int) bool {
+				if placements[i].slot != placements[j].slot {
+					return placements[i].slot < placements[j].slot
+				}
+				return placements[i].span.Start < placements[j].span.Start
+			})
+			for _, pl := range placements {
+				name := fmt.Sprintf("CTA %d", pl.span.CTA)
+				tid := kernelTid + 1 + pl.slot
+				tr.events = append(tr.events,
+					ChromeEvent{Name: name, Ph: PhaseBegin, Ts: base + pl.span.Start, Pid: sched.SM, Tid: tid,
+						Args: map[string]string{"cta": fmt.Sprintf("%d", pl.span.CTA)}},
+					ChromeEvent{Name: name, Ph: PhaseEnd, Ts: base + pl.span.End, Pid: sched.SM, Tid: tid},
+				)
+			}
+			tr.events = append(tr.events,
+				ChromeEvent{Name: kp.Info.Kernel, Ph: PhaseEnd, Ts: base + sched.Cycles, Pid: sched.SM, Tid: kernelTid},
+			)
+		}
+		base += kp.Result.Cycles
+	}
+	if !recorded {
+		return fmt.Errorf("export: profile carries no per-SM schedules (collected without RecordSchedule?)")
+	}
+
+	sms := make([]int, 0, len(perSM))
+	for sm := range perSM {
+		sms = append(sms, sm)
+	}
+	sort.Ints(sms)
+	var events []ChromeEvent
+	for _, sm := range sms {
+		events = append(events, ChromeEvent{
+			Name: "process_name", Ph: PhaseMeta, Pid: sm, Tid: kernelTid,
+			Args: map[string]string{"name": fmt.Sprintf("SM %d", sm)},
+		})
+		events = append(events, ChromeEvent{
+			Name: "thread_name", Ph: PhaseMeta, Pid: sm, Tid: kernelTid,
+			Args: map[string]string{"name": "kernel launches"},
+		})
+		for slot := 0; slot < maxSlot[sm]; slot++ {
+			events = append(events, ChromeEvent{
+				Name: "thread_name", Ph: PhaseMeta, Pid: sm, Tid: kernelTid + 1 + slot,
+				Args: map[string]string{"name": fmt.Sprintf("cta slot %d", slot)},
+			})
+		}
+		events = append(events, perSM[sm].events...)
+	}
+
+	var b bytes.Buffer
+	b.WriteString("[")
+	for i := range events {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  ")
+		data, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("export: encode chrome event: %w", err)
+		}
+		b.Write(data)
+	}
+	b.WriteString("\n]\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}

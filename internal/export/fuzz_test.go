@@ -1,0 +1,37 @@
+package export
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzFoldedLine is the folded-format round-trip property: any frame
+// names — including separators, escapes, unicode, and empty strings —
+// survive EscapeFrame → folded-line rendering → ParseFoldedLine exactly,
+// and the escaped line never gains extra structure (one space, weight
+// last).
+func FuzzFoldedLine(f *testing.F) {
+	f.Add("main", "Kernel", int64(42))
+	f.Add("a;b", "c d", int64(0))
+	f.Add("", "", int64(1))
+	f.Add("100%", "%%25", int64(9223372036854775807))
+	f.Add("λ→µ", "tab\there", int64(7))
+	f.Add("[GPU]k<int, 4>", "\n\r;; %", int64(-3))
+	f.Fuzz(func(t *testing.T, f1, f2 string, weight int64) {
+		line := fmt.Sprintf("%s;%s %d", EscapeFrame(f1), EscapeFrame(f2), weight)
+		if strings.ContainsAny(line, "\n\r\t") || strings.Count(line, " ") != 1 {
+			t.Fatalf("rendered line %q leaks reserved structure", line)
+		}
+		fs, err := ParseFoldedLine(line)
+		if err != nil {
+			t.Fatalf("ParseFoldedLine(%q): %v", line, err)
+		}
+		if len(fs.Frames) != 2 || fs.Frames[0] != f1 || fs.Frames[1] != f2 {
+			t.Fatalf("frames %q -> %q, want [%q %q]", line, fs.Frames, f1, f2)
+		}
+		if fs.Weight != weight {
+			t.Fatalf("weight %q -> %d, want %d", line, fs.Weight, weight)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateChrome structurally validates an emitted Chrome-trace document:
+// it must decode strictly (DisallowUnknownFields — no fields beyond the
+// ChromeEvent schema), every duration event must balance (B/E pairs per
+// (pid, tid) track, never closing an unopened event, nothing left open),
+// and timestamps must be monotone non-decreasing per track in emission
+// order. Metadata events (ph "M") must carry a "name" arg.
+func ValidateChrome(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var events []ChromeEvent
+	if err := dec.Decode(&events); err != nil {
+		return fmt.Errorf("chrome trace: decode: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("chrome trace: trailing data after the event array")
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("chrome trace: empty event array")
+	}
+
+	type key struct{ pid, tid int }
+	type state struct {
+		depth  int
+		lastTs int64
+		hasTs  bool
+		open   []string // names of open B events, innermost last
+	}
+	tracks := map[key]*state{}
+	for i := range events {
+		ev := &events[i]
+		k := key{ev.Pid, ev.Tid}
+		st := tracks[k]
+		if st == nil {
+			st = &state{}
+			tracks[k] = st
+		}
+		switch ev.Ph {
+		case PhaseMeta:
+			if ev.Args["name"] == "" {
+				return fmt.Errorf("chrome trace: event %d: metadata %q without args.name", i, ev.Name)
+			}
+			continue // metadata is timeless; it does not join the track timeline
+		case PhaseBegin, PhaseEnd:
+		default:
+			return fmt.Errorf("chrome trace: event %d: unknown phase %q", i, ev.Ph)
+		}
+		if st.hasTs && ev.Ts < st.lastTs {
+			return fmt.Errorf("chrome trace: event %d (%s %q): ts %d before ts %d on track pid=%d tid=%d",
+				i, ev.Ph, ev.Name, ev.Ts, st.lastTs, ev.Pid, ev.Tid)
+		}
+		st.lastTs, st.hasTs = ev.Ts, true
+		if ev.Ph == PhaseBegin {
+			st.depth++
+			st.open = append(st.open, ev.Name)
+			continue
+		}
+		if st.depth == 0 {
+			return fmt.Errorf("chrome trace: event %d: E %q closes nothing on track pid=%d tid=%d",
+				i, ev.Name, ev.Pid, ev.Tid)
+		}
+		if innermost := st.open[len(st.open)-1]; ev.Name != "" && ev.Name != innermost {
+			return fmt.Errorf("chrome trace: event %d: E %q does not match open B %q on track pid=%d tid=%d",
+				i, ev.Name, innermost, ev.Pid, ev.Tid)
+		}
+		st.depth--
+		st.open = st.open[:len(st.open)-1]
+	}
+	for k, st := range tracks {
+		if st.depth != 0 {
+			return fmt.Errorf("chrome trace: track pid=%d tid=%d ends with %d unclosed event(s) (innermost %q)",
+				k.pid, k.tid, st.depth, st.open[len(st.open)-1])
+		}
+	}
+	return nil
+}

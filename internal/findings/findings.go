@@ -19,14 +19,17 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"cudaadvisor/internal/export"
 	"cudaadvisor/internal/ir"
 )
 
 // SchemaVersion identifies the report schema. Any change to the JSON
 // shape of Report or its fields must bump the version; Decode rejects
 // every other version. v2 added the shared-memory kinds (bank-conflict,
-// shared-race) and their static/dynamic evidence fields.
-const SchemaVersion = "advisor-report/v2"
+// shared-race) and their static/dynamic evidence fields; v3 added
+// export_frame, the finding's leaf frame in `cudaadvisor export`
+// flamegraph output.
+const SchemaVersion = "advisor-report/v3"
 
 // Kind classifies a finding.
 type Kind string
@@ -162,6 +165,11 @@ type Finding struct {
 	EstimatedCycles int64 `json:"estimated_cycles"`
 
 	Advice string `json:"advice"`
+
+	// ExportFrame is the finding's leaf frame in `cudaadvisor export`
+	// folded flamegraph output (schema v3): grep the folded document for
+	// this escaped frame name to see the finding's stacks and weights.
+	ExportFrame string `json:"export_frame,omitempty"`
 }
 
 // Report is the ranked, versioned advisor report for one application on
@@ -175,9 +183,14 @@ type Report struct {
 	Findings []Finding `json:"findings"`
 }
 
-// NewReport assembles and ranks a report.
+// NewReport assembles and ranks a report, stamping every finding with
+// its flamegraph leaf frame so report consumers can cross-reference the
+// exported folded stacks.
 func NewReport(app, arch string, lineSize, scale int, fs []Finding) *Report {
 	Rank(fs)
+	for i := range fs {
+		fs[i].ExportFrame = export.SiteFrame(fs[i].Site.Loc())
+	}
 	return &Report{
 		Schema:   SchemaVersion,
 		App:      app,

@@ -79,7 +79,7 @@ func sampleReport() *Report {
 // The schema version is part of the public contract: changing the JSON
 // shape requires bumping it, and this test pins the current value.
 func TestSchemaVersionPinned(t *testing.T) {
-	if SchemaVersion != "advisor-report/v2" {
+	if SchemaVersion != "advisor-report/v3" {
 		t.Fatalf("SchemaVersion = %q; changing the schema requires updating consumers and this pin", SchemaVersion)
 	}
 }
@@ -112,8 +112,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestDecodeRejectsWrongVersion(t *testing.T) {
 	r := sampleReport()
 	enc, _ := Encode(r)
-	bad := bytes.Replace(enc, []byte("advisor-report/v2"), []byte("advisor-report/v1"), 1)
-	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "advisor-report/v2") {
+	bad := bytes.Replace(enc, []byte("advisor-report/v3"), []byte("advisor-report/v1"), 1)
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "advisor-report/v3") {
 		t.Fatalf("decode of v1 report: err = %v, want version mismatch naming v2", err)
 	}
 	if _, err := Decode([]byte(`{"findings":[]}`)); err == nil {

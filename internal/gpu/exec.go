@@ -88,6 +88,33 @@ type LaunchParams struct {
 	// the timing model is untouched — so cycles and results stay
 	// byte-identical with it on or off.
 	WatchShared bool
+
+	// RecordSchedule captures the per-SM scheduling timeline of the
+	// launch (CTA admission and retirement times, per-SM busy cycles) in
+	// LaunchResult.Schedule. Like WatchShared it is purely observational:
+	// the timing model never reads the recording, so cycles, traces and
+	// hook streams are byte-identical with it on or off, and the recorded
+	// spans are identical on the serial and parallel paths (each shard's
+	// simulation is self-contained and shards merge in SM order).
+	RecordSchedule bool
+}
+
+// CTASpan is one CTA's residency on an SM: admitted at Start, retired at
+// End (the max ready time of its warps when the last one finished), in
+// model cycles on that SM's timeline.
+type CTASpan struct {
+	CTA   int
+	Start int64
+	End   int64
+}
+
+// SMSchedule is the recorded scheduling timeline of one SM: its busy
+// cycles and the CTA residency spans in retirement order (deterministic
+// at every worker count).
+type SMSchedule struct {
+	SM     int
+	Cycles int64
+	CTAs   []CTASpan
 }
 
 // LaunchResult reports functional and model-timing outcomes of a launch.
@@ -108,6 +135,10 @@ type LaunchResult struct {
 	// reads that hit a word another thread wrote in the same barrier
 	// interval.
 	SharedRaces []SharedRaceSite
+
+	// Schedule holds the per-SM scheduling timelines, populated only
+	// under LaunchParams.RecordSchedule, in SM order.
+	Schedule []SMSchedule
 }
 
 // Device is a simulated GPU: an architecture configuration plus global
@@ -198,6 +229,7 @@ type ctaState struct {
 	arrived   int
 	barrierAt int64
 	liveWarps int
+	admitAt   int64 // admission cycle, kept for RecordSchedule
 }
 
 // launchState carries the launch-wide machinery shared by every SM
@@ -360,6 +392,9 @@ func (ls *launchState) merge(s *smShard, cycles int64) {
 	}
 	if cycles > r.Cycles {
 		r.Cycles = cycles
+	}
+	if ls.p.RecordSchedule {
+		r.Schedule = append(r.Schedule, SMSchedule{SM: s.sm, Cycles: cycles, CTAs: s.spans})
 	}
 }
 

@@ -1,0 +1,108 @@
+package gpu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cudaadvisor/internal/ir"
+)
+
+// runScheduled launches parallelScaleSrc with schedule recording on.
+func runScheduled(t *testing.T, sms, workers int) []SMSchedule {
+	t.Helper()
+	cfg := KeplerK40c()
+	cfg.SMs = sms
+	d := NewDevice(cfg, 16<<20)
+	m := parseKernel(t, parallelScaleSrc)
+	const n = 4096
+	in, _ := d.Mem.Alloc(4 * n)
+	out, _ := d.Mem.Alloc(4 * n)
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i%97) + 0.25
+	}
+	writeF32s(t, d, in, vals)
+	p := LaunchParams{
+		Grid: [3]int{32, 1, 1}, Block: [3]int{128, 1, 1},
+		Args: []uint64{in, out, ir.I32Bits(n)}, L1WarpsPerCTA: -1,
+		RecordSchedule: true,
+	}
+	if workers > 1 {
+		p.Pool = testPool(t, workers)
+	}
+	res, err := d.Launch(m.Func("work"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule
+}
+
+// TestRecordScheduleShape: the recorded schedule covers every CTA exactly
+// once, in round-robin SM assignment, with sane span bounds.
+func TestRecordScheduleShape(t *testing.T) {
+	const sms = 4
+	sched := runScheduled(t, sms, 1)
+	if len(sched) != sms {
+		t.Fatalf("%d SM schedules, want %d", len(sched), sms)
+	}
+	seen := map[int]bool{}
+	for i, s := range sched {
+		if s.SM != i {
+			t.Errorf("schedule %d is for SM %d, want SM order", i, s.SM)
+		}
+		for _, sp := range s.CTAs {
+			if seen[sp.CTA] {
+				t.Errorf("CTA %d appears twice", sp.CTA)
+			}
+			seen[sp.CTA] = true
+			if sp.CTA%sms != s.SM {
+				t.Errorf("CTA %d landed on SM %d, want round-robin SM %d", sp.CTA, s.SM, sp.CTA%sms)
+			}
+			if sp.Start < 0 || sp.End < sp.Start {
+				t.Errorf("CTA %d span [%d, %d] is not ordered", sp.CTA, sp.Start, sp.End)
+			}
+			if sp.End > s.Cycles {
+				t.Errorf("CTA %d retires at %d, after its SM's %d cycles", sp.CTA, sp.End, s.Cycles)
+			}
+		}
+	}
+	if len(seen) != 32 {
+		t.Errorf("schedules cover %d CTAs, want all 32", len(seen))
+	}
+}
+
+// TestRecordScheduleParallelIdentical: the recorded schedule is
+// byte-identical between the serial and pooled launch paths — the
+// property Chrome-trace export's determinism rides on.
+func TestRecordScheduleParallelIdentical(t *testing.T) {
+	for _, sms := range []int{1, 2, 15} {
+		t.Run(fmt.Sprintf("SMs=%d", sms), func(t *testing.T) {
+			serial := runScheduled(t, sms, 1)
+			par := runScheduled(t, sms, 8)
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("schedule differs:\nserial: %+v\npooled: %+v", serial, par)
+			}
+		})
+	}
+}
+
+// TestRecordScheduleOffByDefault: without the flag, LaunchResult carries
+// no schedule (the byte-identity guarantee for every existing consumer).
+func TestRecordScheduleOffByDefault(t *testing.T) {
+	cfg := KeplerK40c()
+	d := NewDevice(cfg, 1<<20)
+	m := parseKernel(t, parallelScaleSrc)
+	in, _ := d.Mem.Alloc(4 * 128)
+	out, _ := d.Mem.Alloc(4 * 128)
+	res, err := d.Launch(m.Func("work"), LaunchParams{
+		Grid: [3]int{1, 1, 1}, Block: [3]int{128, 1, 1},
+		Args: []uint64{in, out, ir.I32Bits(128)}, L1WarpsPerCTA: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule != nil {
+		t.Fatalf("Schedule = %+v without RecordSchedule, want nil", res.Schedule)
+	}
+}

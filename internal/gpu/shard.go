@@ -30,6 +30,9 @@ type smShard struct {
 	bankReplays    int64
 	raceSites      map[ir.Loc]int64
 
+	// CTA residency spans in retirement order (LaunchParams.RecordSchedule).
+	spans []CTASpan
+
 	// Parallel-path state: buffered hook events (replayed in SM order
 	// after the shards join), the shard's private write view of global
 	// memory, and the run outcome captured for the ordered merge.
@@ -141,6 +144,15 @@ func (s *smShard) run(threadsPerCTA, warpsPerCTA int) (int64, error) {
 		for _, cta := range resident {
 			if cta.liveWarps == 0 {
 				retired = true
+				if ls.p.RecordSchedule {
+					end := cta.admitAt
+					for _, cw := range cta.warps {
+						if cw.readyAt > end {
+							end = cw.readyAt
+						}
+					}
+					s.spans = append(s.spans, CTASpan{CTA: cta.id, Start: cta.admitAt, End: end})
+				}
 				continue
 			}
 			liveResident = append(liveResident, cta)
@@ -184,9 +196,10 @@ func (s *smShard) newCTA(id, threadsPerCTA, warpsPerCTA int, at int64) *ctaState
 	g := ls.p.Grid
 	coord := [3]int{id % g[0], (id / g[0]) % g[1], id / (g[0] * g[1])}
 	cta := &ctaState{
-		id:     id,
-		coord:  coord,
-		shared: newSharedMem(ls.kernel.SharedBytes, ls.p.WatchShared),
+		id:      id,
+		coord:   coord,
+		shared:  newSharedMem(ls.kernel.SharedBytes, ls.p.WatchShared),
+		admitAt: at,
 	}
 	for wi := 0; wi < warpsPerCTA; wi++ {
 		mask := uint32(0)

@@ -118,12 +118,13 @@ func AdviseKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale
 	return k
 }
 
-// ViewKey is the key of one rendered debug view (the code-/data-centric
-// CCT and per-object access-map dumps): the exact bytes the view
+// ViewKey is the key of one rendered view (the code-/data-centric CCT
+// and per-object access-map dumps, and the export serializations —
+// "export:folded:<weight>" / "export:chrome"): the exact bytes the view
 // printer emits for a profiling run, named by view. Views are cached as
-// rendered text because their inputs — the calling-context tree and the
-// raw object access log — are exactly what the analysis bundle drops to
-// stay small.
+// rendered text because their inputs — the calling-context tree, the
+// raw object access log, the per-SM schedules — are exactly what the
+// analysis bundle drops to stay small.
 func ViewKey(app *apps.App, cfg gpu.ArchConfig, opts instrument.Options, scale, traceCap int, view string) Key {
 	k := ProfileKey(app, cfg, opts, scale, traceCap)
 	k.Kind = "view"

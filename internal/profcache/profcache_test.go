@@ -307,7 +307,7 @@ func TestAdviseRoundTrip(t *testing.T) {
 	}
 
 	// A schema bump is a different key: the old entry is not served.
-	bumped := profcache.AdviseKey(app, gpu.KeplerK40c(), bothOpts, 1, 0, "advisor-report/v2")
+	bumped := profcache.AdviseKey(app, gpu.KeplerK40c(), bothOpts, 1, 0, "advisor-report/v3")
 	if bumped.ID() == key.ID() {
 		t.Fatalf("schema version is not part of the advise key: %s", key.Canonical())
 	}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cudaadvisor/internal/export"
+)
+
+// ExportCheck renders the one-line verdict `cudaadvisor checkexport`
+// prints per validated file: the document kind plus the structural
+// numbers that prove it parsed (event count for Chrome traces, stack
+// count and re-aggregated total weight for folded documents). The bytes
+// are classified by shape — a Chrome trace is a JSON array, a folded
+// document is line-oriented — so the checker needs no format flag.
+func ExportCheck(w io.Writer, path string, data []byte) error {
+	if len(data) > 0 && data[0] == '[' {
+		if err := export.ValidateChrome(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		var events []export.ChromeEvent
+		// ValidateChrome already decoded strictly; this lenient pass only
+		// counts events for the report line.
+		if err := json.Unmarshal(data, &events); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(w, "%s: ok (chrome trace, %d events)\n", path, len(events))
+		return nil
+	}
+	stacks, err := export.ParseFolded(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var total int64
+	for _, s := range stacks {
+		total += s.Weight
+	}
+	fmt.Fprintf(w, "%s: ok (folded, %d stacks, total weight %d)\n", path, len(stacks), total)
+	return nil
+}

@@ -125,6 +125,11 @@ type LaunchOptions struct {
 	// benchmark drivers' Run signature is fixed; the experiment layer
 	// sets it once per cell before handing the context to the driver.
 	Ctx context.Context
+	// RecordSchedule makes every subsequent Launch capture its per-SM
+	// scheduling timeline in LaunchResult.Schedule (see
+	// gpu.LaunchParams.RecordSchedule). Purely observational; off by
+	// default so existing outputs stay byte-identical.
+	RecordSchedule bool
 }
 
 // FullBypass as L1Warps sends all global accesses around the L1 cache.
@@ -285,12 +290,13 @@ func (c *Context) Launch(prog *instrument.Program, kernel string, grid, block [3
 	}
 	res, err := c.Dev.Launch(f, gpu.LaunchParams{
 		Grid: grid, Block: block, Args: bits,
-		Hooks:         hooks,
-		Pool:          c.Options.Pool,
-		L1WarpsPerCTA: l1Warps,
-		MaxWarpInstrs: c.Options.MaxWarpInstrs,
-		Ctx:           c.Options.Ctx,
-		WatchShared:   prog.Opts.SharedMemory,
+		Hooks:          hooks,
+		Pool:           c.Options.Pool,
+		L1WarpsPerCTA:  l1Warps,
+		MaxWarpInstrs:  c.Options.MaxWarpInstrs,
+		Ctx:            c.Options.Ctx,
+		WatchShared:    prog.Opts.SharedMemory,
+		RecordSchedule: c.Options.RecordSchedule,
 	})
 	if err != nil {
 		return nil, err

@@ -1,7 +1,7 @@
 // Package serve is the profiling-as-a-service layer: an HTTP handler
-// that answers profile/lint/advise requests (built-in app name or .mir
-// upload × architecture × analysis options × scale) from the shared
-// content-addressed cache.
+// that answers profile/lint/advise/export requests (built-in app name
+// or .mir upload × architecture × analysis options × scale) from the
+// shared content-addressed cache.
 //
 // Everything the pipeline produces is deterministic and
 // content-addressed, so the daemon is read-mostly by construction: the
@@ -47,6 +47,7 @@ import (
 
 	"cudaadvisor/internal/apps"
 	"cudaadvisor/internal/experiments"
+	"cudaadvisor/internal/export"
 	"cudaadvisor/internal/faultinject"
 	"cudaadvisor/internal/gpu"
 	"cudaadvisor/internal/profcache"
@@ -104,6 +105,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/profile", s.gated(s.profile))
 	s.mux.HandleFunc("/v1/lint", s.gated(s.lint))
 	s.mux.HandleFunc("/v1/advise", s.gated(s.advise))
+	s.mux.HandleFunc("/v1/export", s.gated(s.export))
 	return s
 }
 
@@ -418,6 +420,43 @@ func (s *Server) advise(r *http.Request, env experiments.Env, buf *bytes.Buffer)
 		return err
 	}
 	return experiments.WriteStaticAdvise(buf, res, cfg, format)
+}
+
+// export renders GET /v1/export?app=A&arch=kepler&format=folded&weight=cycles
+// — the flamegraph/timeline serializations of DESIGN.md §12, cached as
+// view entries and byte-identical to `cudaadvisor export` by
+// construction (same WriteExportEnv renderer). Format and weight
+// validate eagerly so a bad request is a 400 before any simulation.
+func (s *Server) export(r *http.Request, env experiments.Env, buf *bytes.Buffer) error {
+	app, err := appParam(r)
+	if err != nil {
+		return err
+	}
+	if app == nil {
+		return badf("export wants an ?app= parameter (one of the built-in applications)")
+	}
+	cfg, err := archParam(r)
+	if err != nil {
+		return err
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = experiments.ExportFolded
+	}
+	switch format {
+	case experiments.ExportFolded, experiments.ExportChrome:
+	default:
+		return badf("unknown export format %q (want folded or chrome)", format)
+	}
+	weight := r.URL.Query().Get("weight")
+	if weight == "" {
+		weight = export.WeightCycles
+	}
+	if format == experiments.ExportFolded && !export.ValidWeight(weight) {
+		return badf("unknown export weight %q (want cycles, lines, divergence, or reuse)", weight)
+	}
+	req := experiments.ExportRequest{App: app, Arch: cfg, Format: format, Weight: weight}
+	return experiments.WriteExportEnv(buf, env, req)
 }
 
 // analyzeRequest resolves the static-analysis target: a built-in app by

@@ -340,6 +340,9 @@ func TestBadRequests(t *testing.T) {
 		"/v1/profile?app=bfs&scale=1000000", // out-of-range scale
 		"/v1/lint",                          // no app, no upload
 		"/v1/advise?app=bfs&format=yaml",    // unknown format
+		"/v1/export",                        // missing app
+		"/v1/export?app=bfs&format=svg",     // unknown export format
+		"/v1/export?app=bfs&weight=bytes",   // unknown folded weight
 	} {
 		if status, _, body := get(t, ts, path); status != http.StatusBadRequest {
 			t.Errorf("%s = %d %q, want 400", path, status, body)
@@ -352,6 +355,54 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("garbage upload = %d, want 400", resp.StatusCode)
+	}
+}
+
+// refExport renders the uncached serial CLI reference for one export
+// request — the bytes every /v1/export response must match.
+func refExport(t *testing.T, format, weight string) string {
+	t.Helper()
+	var b bytes.Buffer
+	err := experiments.WriteExportEnv(&b, experiments.DefaultEnv(nil, 1), experiments.ExportRequest{
+		App: apps.ByName("bfs"), Arch: gpu.KeplerK40c(), Format: format, Weight: weight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestExportParity: /v1/export responses equal the shared export
+// renderer byte for byte in both formats, and a warm rerun of each is a
+// pure cache read.
+func TestExportParity(t *testing.T) {
+	ts := newServer(t, serve.Config{Cache: profcache.New(t.TempDir())})
+	reqs := []struct {
+		path, format, weight string
+	}{
+		{"/v1/export?app=bfs", experiments.ExportFolded, "cycles"}, // folded/cycles defaults
+		{"/v1/export?app=bfs&weight=divergence", experiments.ExportFolded, "divergence"},
+		{"/v1/export?app=bfs&format=chrome", experiments.ExportChrome, ""},
+	}
+	for _, r := range reqs {
+		want := refExport(t, r.format, r.weight)
+		status, _, body := get(t, ts, r.path)
+		if status != http.StatusOK {
+			t.Fatalf("%s = %d: %.200s", r.path, status, body)
+		}
+		if body != want {
+			t.Errorf("%s differs from the CLI renderer (%d vs %d bytes)", r.path, len(body), len(want))
+		}
+	}
+	before := getStats(t, ts)
+	for _, r := range reqs {
+		if _, _, body := get(t, ts, r.path); body != refExport(t, r.format, r.weight) {
+			t.Errorf("warm %s differs", r.path)
+		}
+	}
+	after := getStats(t, ts)
+	if after.Cache.Misses != before.Cache.Misses {
+		t.Errorf("warm export reruns missed: %d -> %d misses", before.Cache.Misses, after.Cache.Misses)
 	}
 }
 
